@@ -1,0 +1,246 @@
+//! Contiguous baselines: First-Fit and Best-Fit sub-mesh allocation.
+//!
+//! These are the classic strategies (Zhu 1992, ref. [19] of the paper)
+//! whose external fragmentation motivates non-contiguous allocation: a job
+//! waits until a single free `a × b` sub-mesh exists, even when enough
+//! scattered processors are free. They are included as baselines for the
+//! `ablation_contiguity` bench, not as paper figures.
+
+use crate::{AllocId, Allocation, AllocationStrategy};
+use mesh2d::{Coord, Mesh, OccupancySums, SubMesh};
+
+/// Contiguous first-fit: the first free `a × b` (or `b × a`) sub-mesh in
+/// row-major base order.
+#[derive(Debug, Default)]
+pub struct FirstFit {
+    next_id: u64,
+}
+
+impl FirstFit {
+    pub fn new() -> Self {
+        FirstFit::default()
+    }
+}
+
+impl AllocationStrategy for FirstFit {
+    fn name(&self) -> String {
+        "FF".to_string()
+    }
+
+    fn allocate(&mut self, mesh: &mut Mesh, a: u16, b: u16) -> Option<Allocation> {
+        if a == 0 || b == 0 {
+            return None;
+        }
+        let s = mesh2d::find_free_submesh(mesh, a, b)
+            .or_else(|| if a != b { mesh2d::find_free_submesh(mesh, b, a) } else { None })?;
+        mesh.occupy_submesh(&s);
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        Some(Allocation {
+            id,
+            submeshes: vec![s],
+        })
+    }
+
+    fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
+        for s in &alloc.submeshes {
+            mesh.release_submesh(s);
+        }
+    }
+
+    fn reset(&mut self, _mesh: &Mesh) {
+        self.next_id = 0;
+    }
+
+    fn always_succeeds_when_free(&self) -> bool {
+        false
+    }
+}
+
+/// Contiguous best-fit: among all free placements (both orientations),
+/// pick the one bordered by the fewest free processors — the placement
+/// that "fits most snugly" against allocated regions and mesh edges,
+/// preserving large free areas for later jobs.
+#[derive(Debug, Default)]
+pub struct BestFit {
+    next_id: u64,
+}
+
+impl BestFit {
+    pub fn new() -> Self {
+        BestFit::default()
+    }
+
+    /// Number of *free* processors adjacent to the perimeter of `s`
+    /// (processors outside `s` sharing a link with it). Lower is snugger.
+    fn boundary_freeness(mesh: &Mesh, sums: &OccupancySums, s: &SubMesh) -> u32 {
+        let mut free_neighbors = 0u32;
+        let (bx, by) = (s.base.x, s.base.y);
+        let (ex, ey) = (s.end.x, s.end.y);
+        // left and right columns
+        if bx > 0 {
+            let col = SubMesh::new(Coord::new(bx - 1, by), Coord::new(bx - 1, ey));
+            free_neighbors += col.size() - sums.occupied_in(&col);
+        }
+        if ex + 1 < mesh.width() {
+            let col = SubMesh::new(Coord::new(ex + 1, by), Coord::new(ex + 1, ey));
+            free_neighbors += col.size() - sums.occupied_in(&col);
+        }
+        // bottom and top rows
+        if by > 0 {
+            let row = SubMesh::new(Coord::new(bx, by - 1), Coord::new(ex, by - 1));
+            free_neighbors += row.size() - sums.occupied_in(&row);
+        }
+        if ey + 1 < mesh.length() {
+            let row = SubMesh::new(Coord::new(bx, by + 1), Coord::new(ex, by + 1));
+            free_neighbors += row.size() - sums.occupied_in(&row);
+        }
+        free_neighbors
+    }
+
+    fn best_placement(mesh: &Mesh, sums: &OccupancySums, w: u16, l: u16) -> Option<(u32, SubMesh)> {
+        if w > mesh.width() || l > mesh.length() {
+            return None;
+        }
+        let mut best: Option<(u32, SubMesh)> = None;
+        for y in 0..=(mesh.length() - l) {
+            for x in 0..=(mesh.width() - w) {
+                let s = SubMesh::from_base_size(Coord::new(x, y), w, l);
+                if !sums.is_free(&s) {
+                    continue;
+                }
+                let score = Self::boundary_freeness(mesh, sums, &s);
+                if best.map_or(true, |(bs, _)| score < bs) {
+                    best = Some((score, s));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl AllocationStrategy for BestFit {
+    fn name(&self) -> String {
+        "BF".to_string()
+    }
+
+    fn allocate(&mut self, mesh: &mut Mesh, a: u16, b: u16) -> Option<Allocation> {
+        if a == 0 || b == 0 {
+            return None;
+        }
+        let sums = OccupancySums::new(mesh);
+        let c1 = Self::best_placement(mesh, &sums, a, b);
+        let c2 = if a != b {
+            Self::best_placement(mesh, &sums, b, a)
+        } else {
+            None
+        };
+        let s = match (c1, c2) {
+            (Some((s1, r1)), Some((s2, r2))) => {
+                if s1 <= s2 {
+                    r1
+                } else {
+                    r2
+                }
+            }
+            (Some((_, r)), None) | (None, Some((_, r))) => r,
+            (None, None) => return None,
+        };
+        mesh.occupy_submesh(&s);
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        Some(Allocation {
+            id,
+            submeshes: vec![s],
+        })
+    }
+
+    fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
+        for s in &alloc.submeshes {
+            mesh.release_submesh(s);
+        }
+    }
+
+    fn reset(&mut self, _mesh: &Mesh) {
+        self.next_id = 0;
+    }
+
+    fn always_succeeds_when_free(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_allocates_origin_first() {
+        let mut mesh = Mesh::new(8, 8);
+        let mut ff = FirstFit::new();
+        let a = ff.allocate(&mut mesh, 3, 3).unwrap();
+        assert_eq!(a.submeshes[0].base, Coord::new(0, 0));
+        assert_eq!(a.fragments(), 1);
+    }
+
+    #[test]
+    fn first_fit_fails_on_fragmentation() {
+        // Fig. 1: 4 free corner processors, request 2x2 -> FF fails while
+        // 4 processors are free. This is the motivating example.
+        let mut mesh = Mesh::new(4, 4);
+        for y in 0..4u16 {
+            for x in 0..4u16 {
+                let corner = (x == 0 || x == 3) && (y == 0 || y == 3);
+                if !corner {
+                    mesh.occupy(Coord::new(x, y));
+                }
+            }
+        }
+        let mut ff = FirstFit::new();
+        assert_eq!(mesh.free_count(), 4);
+        assert!(ff.allocate(&mut mesh, 2, 2).is_none());
+    }
+
+    #[test]
+    fn first_fit_rotates() {
+        let mut mesh = Mesh::new(10, 4);
+        let mut ff = FirstFit::new();
+        let a = ff.allocate(&mut mesh, 2, 7).unwrap();
+        assert_eq!(a.size(), 14);
+    }
+
+    #[test]
+    fn best_fit_prefers_snug_corner() {
+        // occupy left half; BF for a 2x2 should nestle against the
+        // boundary, not float in the middle of the free half
+        let mut mesh = Mesh::new(8, 8);
+        mesh.occupy_submesh(&SubMesh::from_base_size(Coord::new(0, 0), 4, 8));
+        let mut bf = BestFit::new();
+        let a = bf.allocate(&mut mesh, 2, 2).unwrap();
+        let s = a.submeshes[0];
+        // snug: touches either the occupied wall (x=4) or a mesh corner
+        let touches_wall = s.base.x == 4;
+        let touches_corner = (s.base.x == 6 || s.base.x == 4) && (s.base.y == 0 || s.end.y == 7);
+        assert!(
+            touches_wall || touches_corner,
+            "BF placed {s} away from boundaries"
+        );
+    }
+
+    #[test]
+    fn best_fit_release_restores() {
+        let mut mesh = Mesh::new(6, 6);
+        let mut bf = BestFit::new();
+        let a = bf.allocate(&mut mesh, 4, 4).unwrap();
+        assert_eq!(mesh.used_count(), 16);
+        bf.release(&mut mesh, a);
+        assert_eq!(mesh.used_count(), 0);
+    }
+
+    #[test]
+    fn both_reject_oversized() {
+        let mut mesh = Mesh::new(4, 4);
+        assert!(FirstFit::new().allocate(&mut mesh, 5, 5).is_none());
+        assert!(BestFit::new().allocate(&mut mesh, 5, 5).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The Paging strategy (Lo et al. 1997; paper §3).
+//!
+//! The mesh is divided into pages — square sub-meshes of side
+//! `2^size_index` — and the page is the allocation unit. A request for
+//! `a × b` processors receives the first free pages in index order until
+//! at least `a·b` processors have been granted. Larger pages give more
+//! contiguity but more internal fragmentation; `Paging(0)` (the paper's
+//! configuration) has neither, allocating individual processors in index
+//! order.
+
+use crate::{AllocId, Allocation, AllocationStrategy};
+use mesh2d::{Mesh, PageGrid, PageIndexing, SubMesh};
+use std::collections::HashMap;
+
+/// Paging(`size_index`) under a chosen page indexing scheme.
+#[derive(Debug)]
+pub struct Paging {
+    grid: PageGrid,
+    size_index: u8,
+    /// Free flag per page (index-order position).
+    free: Vec<bool>,
+    /// Free processors summed over free pages.
+    free_procs: u32,
+    /// Page positions granted to each live allocation.
+    live: HashMap<u64, Vec<usize>>,
+    next_id: u64,
+}
+
+impl Paging {
+    /// Builds the page grid for `mesh` with pages of side `2^size_index`.
+    pub fn new(mesh: &Mesh, size_index: u8, indexing: PageIndexing) -> Self {
+        let grid = PageGrid::new(mesh.width(), mesh.length(), size_index, indexing);
+        let n = grid.page_count();
+        let free_procs = mesh.size();
+        Paging {
+            grid,
+            size_index,
+            free: vec![true; n],
+            free_procs,
+            live: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The page side `2^size_index`.
+    pub fn page_side(&self) -> u16 {
+        self.grid.page_side()
+    }
+}
+
+impl AllocationStrategy for Paging {
+    fn name(&self) -> String {
+        format!("Paging({})", self.size_index)
+    }
+
+    fn allocate(&mut self, mesh: &mut Mesh, a: u16, b: u16) -> Option<Allocation> {
+        let need = a as u32 * b as u32;
+        if need == 0 || need > self.free_procs {
+            return None;
+        }
+        let mut chosen = Vec::new();
+        let mut granted = 0u32;
+        for (i, page) in self.grid.pages().iter().enumerate() {
+            if !self.free[i] {
+                continue;
+            }
+            chosen.push(i);
+            granted += page.size();
+            if granted >= need {
+                break;
+            }
+        }
+        debug_assert!(granted >= need, "free_procs accounting is broken");
+        let submeshes: Vec<SubMesh> = chosen.iter().map(|&i| self.grid.pages()[i]).collect();
+        for (&i, s) in chosen.iter().zip(&submeshes) {
+            self.free[i] = false;
+            mesh.occupy_submesh(s);
+        }
+        self.free_procs -= granted;
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id.0, chosen);
+        Some(Allocation { id, submeshes })
+    }
+
+    fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
+        let pages = self
+            .live
+            .remove(&alloc.id.0)
+            .expect("release of unknown allocation");
+        for &i in &pages {
+            debug_assert!(!self.free[i], "page double free");
+            self.free[i] = true;
+            let s = self.grid.pages()[i];
+            self.free_procs += s.size();
+            mesh.release_submesh(&s);
+        }
+    }
+
+    fn reset(&mut self, mesh: &Mesh) {
+        debug_assert_eq!(mesh.used_count(), 0, "reset on a non-empty mesh");
+        self.free.fill(true);
+        self.free_procs = mesh.size();
+        self.live.clear();
+        self.next_id = 0;
+    }
+
+    fn always_succeeds_when_free(&self) -> bool {
+        // exact for Paging(0); for larger pages success is guaranteed
+        // whenever enough *page* capacity is free, which the free_procs
+        // counter tracks
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh2d::Coord;
+
+    fn paging0(mesh: &Mesh) -> Paging {
+        Paging::new(mesh, 0, PageIndexing::RowMajor)
+    }
+
+    #[test]
+    fn paging0_allocates_exactly_and_in_index_order() {
+        let mut mesh = Mesh::new(16, 22);
+        let mut p = paging0(&mesh);
+        let a = p.allocate(&mut mesh, 3, 2).unwrap();
+        assert_eq!(a.size(), 6);
+        // first six processors in row-major order
+        let nodes = a.nodes();
+        assert_eq!(nodes[0], Coord::new(0, 0));
+        assert_eq!(nodes[5], Coord::new(5, 0));
+        assert_eq!(mesh.used_count(), 6);
+    }
+
+    #[test]
+    fn paging0_succeeds_iff_enough_free() {
+        let mut mesh = Mesh::new(4, 4);
+        let mut p = paging0(&mesh);
+        let a = p.allocate(&mut mesh, 4, 3).unwrap(); // 12 of 16
+        assert!(p.allocate(&mut mesh, 5, 1).is_none()); // 5 > 4 free
+        let b = p.allocate(&mut mesh, 2, 2).unwrap(); // exactly 4
+        assert_eq!(mesh.free_count(), 0);
+        p.release(&mut mesh, a);
+        p.release(&mut mesh, b);
+        assert_eq!(mesh.free_count(), 16);
+    }
+
+    #[test]
+    fn paging0_fills_holes_left_by_departures() {
+        let mut mesh = Mesh::new(4, 4);
+        let mut p = paging0(&mesh);
+        let a = p.allocate(&mut mesh, 4, 1).unwrap(); // row 0
+        let _b = p.allocate(&mut mesh, 4, 1).unwrap(); // row 1
+        p.release(&mut mesh, a);
+        let c = p.allocate(&mut mesh, 2, 1).unwrap();
+        // reuses the lowest-index pages (row 0), not fresh ones
+        assert_eq!(c.nodes()[0], Coord::new(0, 0));
+    }
+
+    #[test]
+    fn paging2_internal_fragmentation() {
+        // Paging(2) = 4x4 pages: a 1x1 request occupies a whole page.
+        let mut mesh = Mesh::new(16, 16);
+        let mut p = Paging::new(&mesh, 2, PageIndexing::RowMajor);
+        assert_eq!(p.page_side(), 4);
+        let a = p.allocate(&mut mesh, 1, 1).unwrap();
+        assert_eq!(a.size(), 16, "whole page granted");
+        assert_eq!(mesh.used_count(), 16);
+        p.release(&mut mesh, a);
+        assert_eq!(mesh.used_count(), 0);
+    }
+
+    #[test]
+    fn paging1_multiple_pages_until_covered() {
+        let mut mesh = Mesh::new(8, 8);
+        let mut p = Paging::new(&mesh, 1, PageIndexing::RowMajor); // 2x2 pages
+        let a = p.allocate(&mut mesh, 3, 3).unwrap(); // 9 procs -> 3 pages = 12
+        assert_eq!(a.fragments(), 3);
+        assert_eq!(a.size(), 12);
+    }
+
+    #[test]
+    fn release_unknown_panics() {
+        let mut mesh = Mesh::new(4, 4);
+        let mut p = paging0(&mesh);
+        let bogus = Allocation {
+            id: AllocId(999),
+            submeshes: vec![],
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.release(&mut mesh, bogus);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut mesh = Mesh::new(4, 4);
+        let mut p = paging0(&mesh);
+        let _leak = p.allocate(&mut mesh, 4, 4).unwrap();
+        mesh.clear();
+        p.reset(&mesh);
+        assert!(p.allocate(&mut mesh, 4, 4).is_some());
+    }
+
+    #[test]
+    fn snake_indexing_changes_order_not_capacity() {
+        let mut mesh = Mesh::new(4, 4);
+        let mut p = Paging::new(&mesh, 0, PageIndexing::SnakeLike);
+        let a = p.allocate(&mut mesh, 4, 2).unwrap();
+        assert_eq!(a.size(), 8);
+        // snake order: row 0 L->R then row 1 R->L
+        let nodes = a.nodes();
+        assert_eq!(nodes[3], Coord::new(3, 0));
+        assert_eq!(nodes[4], Coord::new(3, 1));
+    }
+}

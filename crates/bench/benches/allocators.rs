@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks: allocation strategy operation cost.
+//!
+//! The paper argues GABL is practical because its busy list stays short
+//! (§6); these benches measure the actual allocate+release cost of every
+//! strategy under sustained churn on the 16×22 mesh, plus the
+//! largest-free-rectangle search that dominates GABL's cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desim::SimRng;
+use mesh2d::{largest_free_rect, Coord, Mesh};
+use mesh_alloc::{AllocationStrategy, PageIndexing, StrategyKind};
+
+/// Steady-state churn: keep ~60 % of the mesh allocated, measure one
+/// allocate+release pair per iteration.
+fn churn(c: &mut Criterion, kind: StrategyKind, name: &str) {
+    let mut mesh = Mesh::new(16, 22);
+    let mut strat = kind.build(&mesh, 42);
+    let mut rng = SimRng::new(7);
+    let mut live = Vec::new();
+    // pre-churn to steady state
+    for _ in 0..300 {
+        if rng.chance(0.55) || live.is_empty() {
+            let a = rng.uniform_incl(1, 8) as u16;
+            let b = rng.uniform_incl(1, 8) as u16;
+            if let Some(al) = strat.allocate(&mut mesh, a, b) {
+                live.push(al);
+            }
+        } else {
+            let al = live.swap_remove(rng.index(live.len()));
+            strat.release(&mut mesh, al);
+        }
+    }
+    c.bench_function(&format!("alloc_release/{name}"), |bch| {
+        bch.iter(|| {
+            let a = rng.uniform_incl(1, 8) as u16;
+            let b = rng.uniform_incl(1, 8) as u16;
+            if let Some(al) = strat.allocate(&mut mesh, black_box(a), black_box(b)) {
+                // release a random live allocation to hold occupancy level
+                live.push(al);
+            }
+            if live.len() > 20 {
+                let al = live.swap_remove(rng.index(live.len()));
+                strat.release(&mut mesh, al);
+            }
+        })
+    });
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    churn(c, StrategyKind::Gabl, "gabl");
+    churn(
+        c,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        "paging0",
+    );
+    churn(c, StrategyKind::Mbs, "mbs");
+    churn(c, StrategyKind::FirstFit, "first_fit");
+    churn(c, StrategyKind::BestFit, "best_fit");
+    churn(c, StrategyKind::Random, "random");
+}
+
+fn bench_rect_search(c: &mut Criterion) {
+    let mut mesh = Mesh::new(16, 22);
+    let mut rng = SimRng::new(3);
+    for y in 0..22u16 {
+        for x in 0..16u16 {
+            if rng.chance(0.5) {
+                mesh.occupy(Coord::new(x, y));
+            }
+        }
+    }
+    c.bench_function("largest_free_rect/16x22_half_full", |b| {
+        b.iter(|| black_box(largest_free_rect(&mesh, 16, 22)))
+    });
+    let big = {
+        let mut m = Mesh::new(64, 64);
+        for y in 0..64u16 {
+            for x in 0..64u16 {
+                if rng.chance(0.5) {
+                    m.occupy(Coord::new(x, y));
+                }
+            }
+        }
+        m
+    };
+    c.bench_function("largest_free_rect/64x64_half_full", |b| {
+        b.iter(|| black_box(largest_free_rect(&big, 64, 64)))
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_rect_search);
+criterion_main!(benches);

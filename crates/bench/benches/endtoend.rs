@@ -1,0 +1,49 @@
+//! Criterion benchmark: end-to-end simulation throughput per strategy —
+//! the wall-clock cost of one (small) replication of the paper's
+//! experiment, which bounds how expensive the full figure sweeps are.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use procsim_core::{
+    SchedulerKind, SideDist, SimConfig, Simulator, StrategyKind, WorkloadSpec,
+};
+
+fn small_cfg(strategy: StrategyKind) -> SimConfig {
+    let mut cfg = SimConfig::paper(
+        strategy,
+        SchedulerKind::Fcfs,
+        WorkloadSpec::Stochastic {
+            sides: SideDist::Uniform,
+            load: 0.0006,
+            num_mes: 5.0,
+        },
+        11,
+    );
+    cfg.warmup_jobs = 10;
+    cfg.measured_jobs = 60;
+    cfg
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_60_jobs");
+    group.sample_size(10);
+    for (name, strat) in [
+        ("gabl", StrategyKind::Gabl),
+        (
+            "paging0",
+            StrategyKind::Paging {
+                size_index: 0,
+                indexing: procsim_core::PageIndexing::RowMajor,
+            },
+        ),
+        ("mbs", StrategyKind::Mbs),
+    ] {
+        let cfg = small_cfg(strat);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Simulator::new(&cfg, 0).run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

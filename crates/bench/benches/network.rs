@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks: flit-level network engine throughput.
+//!
+//! The cycle engine's cost per simulated cycle bounds the wall-clock cost
+//! of every experiment; these benches track it for a quiet network, a
+//! contended all-to-all, and the routing/pattern helpers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desim::SimRng;
+use mesh2d::Coord;
+use wormnet::{pattern_messages, xy_route, Network, Pattern, Topology};
+
+fn bench_single_packet(c: &mut Criterion) {
+    c.bench_function("network/single_packet_end_to_end", |b| {
+        b.iter(|| {
+            let mut n = Network::new(16, 22, 3);
+            n.send(Coord::new(0, 0), Coord::new(15, 21), 8, 0, 0);
+            black_box(n.run_until_idle(0))
+        })
+    });
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    c.bench_function("network/all_to_all_8x8_drain", |b| {
+        b.iter(|| {
+            let mut n = Network::new(16, 22, 3);
+            let nodes: Vec<Coord> = (0..8u16)
+                .flat_map(|y| (0..8u16).map(move |x| Coord::new(x, y)))
+                .collect();
+            let mut rng = SimRng::new(1);
+            for (i, (s, d)) in pattern_messages(Pattern::AllToAll, &nodes, 5, &mut rng)
+                .into_iter()
+                .enumerate()
+            {
+                n.send(s, d, 8, i as u64, 0);
+            }
+            black_box(n.run_until_idle(0))
+        })
+    });
+}
+
+fn bench_step_cost(c: &mut Criterion) {
+    // steady contended state: measure per-cycle cost
+    c.bench_function("network/step_200_active_worms", |b| {
+        let mut n = Network::new(16, 22, 3);
+        let mut rng = SimRng::new(5);
+        for i in 0..600u64 {
+            let s = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+            let d = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+            n.send(s, d, 8, i, 0);
+        }
+        let mut t = 0;
+        // warm into contention
+        for _ in 0..50 {
+            n.step(t);
+            t += 1;
+        }
+        b.iter(|| {
+            if n.is_idle() {
+                // refill if drained mid-measurement
+                for i in 0..600u64 {
+                    let s = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    let d = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    n.send(s, d, 8, i, t);
+                }
+            }
+            n.step(t);
+            t += 1;
+            black_box(n.active_count())
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::new(16, 22);
+    c.bench_function("routing/xy_route_corner_to_corner", |b| {
+        b.iter(|| black_box(xy_route(&topo, Coord::new(0, 0), Coord::new(15, 21))))
+    });
+    let nodes: Vec<Coord> = (0..6u16)
+        .flat_map(|y| (0..6u16).map(move |x| Coord::new(x, y)))
+        .collect();
+    c.bench_function("pattern/all_to_all_36_nodes", |b| {
+        let mut rng = SimRng::new(9);
+        b.iter(|| black_box(pattern_messages(Pattern::AllToAll, &nodes, 5, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_single_packet, bench_all_to_all, bench_step_cost, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: GABL busy-list length vs mesh size.
+//!
+//! Probes the paper's §6 claim that GABL "achieves this by using a busy
+//! list whose length is often small even when the size of the mesh
+//! scales up": we run the same offered load per processor on growing
+//! meshes and report the peak busy-list length.
+
+use desim::SimRng;
+use mesh2d::Mesh;
+use mesh_alloc::{AllocationStrategy, Gabl};
+
+fn main() {
+    println!("GABL busy-list scaling (synthetic churn at ~70% occupancy)\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>14}",
+        "mesh", "procs", "peak busy", "peak/sqrt(P)"
+    );
+    for (w, l) in [(8u16, 8u16), (16, 16), (16, 22), (32, 32), (64, 64), (128, 128)] {
+        let mut mesh = Mesh::new(w, l);
+        let mut gabl = Gabl::new();
+        let mut rng = SimRng::new(999);
+        let mut live = Vec::new();
+        let target = (mesh.size() as f64 * 0.7) as u32;
+        for _ in 0..5000 {
+            if mesh.used_count() < target || live.is_empty() {
+                let a = rng.uniform_incl(1, (w / 2) as u64) as u16;
+                let b = rng.uniform_incl(1, (l / 2) as u64) as u16;
+                if let Some(al) = gabl.allocate(&mut mesh, a, b) {
+                    live.push(al);
+                }
+            } else {
+                let al = live.swap_remove(rng.index(live.len()));
+                gabl.release(&mut mesh, al);
+            }
+        }
+        let peak = gabl.peak_busy_len();
+        println!(
+            "{:<10} {:>8} {:>12} {:>14.2}",
+            format!("{w}x{l}"),
+            mesh.size(),
+            peak,
+            peak as f64 / (mesh.size() as f64).sqrt()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: contiguous baselines vs the non-contiguous strategies.
+//!
+//! Reproduces the paper's §1 motivation: contiguous allocation (FF/BF)
+//! suffers external fragmentation — jobs wait while enough (scattered)
+//! processors are free — so non-contiguous strategies win on turnaround
+//! even though their packets travel further. Random scatter shows the
+//! other extreme: no fragmentation but maximal dispersal; MC (the
+//! paper's ref. [7]) shows shape-free clustering between the two.
+
+use procsim_core::{
+    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
+    let kinds = [
+        StrategyKind::FirstFit,
+        StrategyKind::BestFit,
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Mbs,
+        StrategyKind::Mc,
+        StrategyKind::Random,
+    ];
+    println!("contiguity spectrum, uniform stochastic workload, FCFS\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "strategy", "load", "turnaround", "service", "latency", "util", "frags"
+    );
+    for load in [0.0004, 0.0008] {
+        for kind in kinds {
+            let mut cfg = SimConfig::paper(
+                kind,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load,
+                    num_mes: 5.0,
+                },
+                79,
+            );
+            cfg.warmup_jobs = 80;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "{:<10} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.3} {:>10.1}",
+                kind.to_string(),
+                load,
+                p.turnaround(),
+                p.service(),
+                p.latency(),
+                p.utilization(),
+                p.fragments()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: sensitivity to the mean message count `num_mes`.
+//!
+//! The paper fixes `num_mes = 5`; this sweep shows how service time and
+//! the GABL-vs-others gap scale with per-processor communication volume
+//! (more messages -> contiguity matters more).
+
+use procsim_core::{
+    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
+    println!("num_mes sensitivity, uniform stochastic, load 0.0004, FCFS\n");
+    println!(
+        "{:<9} {:<12} {:>12} {:>10} {:>10}",
+        "num_mes", "strategy", "turnaround", "service", "latency"
+    );
+    for num_mes in [1.0, 2.0, 5.0, 10.0, 20.0] {
+        for kind in [
+            StrategyKind::Gabl,
+            StrategyKind::Paging {
+                size_index: 0,
+                indexing: PageIndexing::RowMajor,
+            },
+            StrategyKind::Mbs,
+        ] {
+            let mut cfg = SimConfig::paper(
+                kind,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load: 0.0004,
+                    num_mes,
+                },
+                81,
+            );
+            cfg.warmup_jobs = 80;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "{:<9} {:<12} {:>12.1} {:>10.1} {:>10.1}",
+                num_mes,
+                kind.to_string(),
+                p.turnaround(),
+                p.service(),
+                p.latency()
+            );
+        }
+        println!();
+    }
+}

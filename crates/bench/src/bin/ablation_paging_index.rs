@@ -1,0 +1,49 @@
+//! Ablation: the four Paging page-indexing schemes.
+//!
+//! Probes the paper's §3 claim (citing Lo et al.) that the indexing
+//! scheme "has only a slight impact on the performance of Paging", which
+//! is why the paper uses row-major only.
+
+use procsim_core::{
+    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    println!("Paging(0) indexing-scheme ablation, uniform stochastic workload, FCFS\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "indexing", "load", "turnaround", "service", "latency", "blocking"
+    );
+    for load in [0.0004, 0.0008, 0.0012] {
+        for indexing in PageIndexing::ALL {
+            let mut cfg = SimConfig::paper(
+                StrategyKind::Paging {
+                    size_index: 0,
+                    indexing,
+                },
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load,
+                    num_mes: 5.0,
+                },
+                77,
+            );
+            cfg.warmup_jobs = 100;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "{:<22} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+                indexing.to_string(),
+                load,
+                p.turnaround(),
+                p.service(),
+                p.latency(),
+                p.blocking()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation: Paging page size (`size_index` 0–3).
+//!
+//! Probes the paper's §3 trade-off: "contiguity can be increased by
+//! increasing size_index; however, there is internal processor
+//! fragmentation for size_index >= 1, and it increases with size_index".
+//! Larger pages should show better latency (more contiguity) but worse
+//! turnaround/utilization at load (wasted processors).
+
+use procsim_core::{
+    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    println!("Paging page-size ablation (pages 2^k x 2^k), uniform stochastic, FCFS\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "paging", "load", "turnaround", "latency", "blocking", "utilization"
+    );
+    for load in [0.0004, 0.0008] {
+        for k in 0..=3u8 {
+            let mut cfg = SimConfig::paper(
+                StrategyKind::Paging {
+                    size_index: k,
+                    indexing: PageIndexing::RowMajor,
+                },
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load,
+                    num_mes: 5.0,
+                },
+                78,
+            );
+            cfg.warmup_jobs = 100;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "Paging({k})  {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>12.3}",
+                load,
+                p.turnaround(),
+                p.latency(),
+                p.blocking(),
+                p.utilization()
+            );
+        }
+        println!();
+    }
+}

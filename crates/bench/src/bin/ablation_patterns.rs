@@ -1,0 +1,57 @@
+//! Ablation: communication patterns.
+//!
+//! The paper uses all-to-all because it "causes much message collision
+//! and is known as the weak point for non-contiguous allocation" (§5).
+//! This ablation quantifies that: under gentler patterns (ring,
+//! near-neighbour) the gap between GABL and the scattered strategies
+//! should shrink, because contiguity matters less when traffic stays
+//! local or light.
+
+use procsim_core::{
+    run_point, PageIndexing, Pattern, SchedulerKind, SideDist, SimConfig, StrategyKind,
+    WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
+    println!("communication-pattern ablation, uniform stochastic, load 0.0008, FCFS\n");
+    println!(
+        "{:<16} {:<12} {:>12} {:>10} {:>10}",
+        "pattern", "strategy", "turnaround", "service", "latency"
+    );
+    for pattern in Pattern::ALL {
+        for kind in [
+            StrategyKind::Gabl,
+            StrategyKind::Paging {
+                size_index: 0,
+                indexing: PageIndexing::RowMajor,
+            },
+            StrategyKind::Random,
+        ] {
+            let mut cfg = SimConfig::paper(
+                kind,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load: 0.0008,
+                    num_mes: 5.0,
+                },
+                80,
+            );
+            cfg.pattern = pattern;
+            cfg.warmup_jobs = 80;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "{:<16} {:<12} {:>12.1} {:>10.1} {:>10.1}",
+                pattern.to_string(),
+                kind.to_string(),
+                p.turnaround(),
+                p.service(),
+                p.latency()
+            );
+        }
+        println!();
+    }
+}

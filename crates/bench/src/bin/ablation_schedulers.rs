@@ -1,0 +1,53 @@
+//! Ablation: scheduling policies beyond the paper's FCFS/SSD.
+//!
+//! The paper's §4 cites Krueger et al.: "job scheduling is more important
+//! than processor allocation". This sweep quantifies that for our
+//! substrate: the spread across schedulers at fixed allocation strategy
+//! vs the spread across strategies at fixed scheduler.
+
+use procsim_core::{run_point, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    let scheds = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Ssd,
+        SchedulerKind::SjfArea,
+        SchedulerKind::LjfArea,
+        SchedulerKind::FcfsWindow(4),
+        SchedulerKind::EasyBackfill,
+    ];
+    println!("scheduler ablation, GABL allocation, uniform stochastic workload\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12}",
+        "scheduler", "load", "turnaround", "wait", "utilization"
+    );
+    for load in [0.0006, 0.0012] {
+        for sched in scheds {
+            let mut cfg = SimConfig::paper(
+                StrategyKind::Gabl,
+                sched,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load,
+                    num_mes: 5.0,
+                },
+                92,
+            );
+            cfg.warmup_jobs = 100;
+            cfg.measured_jobs = measured;
+            let p = run_point(&cfg, 3, reps);
+            println!(
+                "{:<10} {:>10.4} {:>12.1} {:>10.1} {:>12.3}",
+                sched.to_string(),
+                load,
+                p.turnaround(),
+                p.turnaround() - p.service(),
+                p.utilization()
+            );
+        }
+        println!();
+    }
+    println!("LJF illustrates the anti-policy; SSD/SJF/EASY all attack FCFS head blocking.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates every figure of the paper (2-16), writing tables to stdout
+//! and CSVs under results/. Pass --full for paper-grade replications.
+
+use procsim_bench::{run_figure, RunMode, ALL_FIGURES};
+use std::path::Path;
+
+fn main() {
+    let mode = RunMode::from_args();
+    let t0 = std::time::Instant::now();
+    for spec in &ALL_FIGURES {
+        eprintln!("figure {} ...", spec.id);
+        let data = run_figure(spec, mode, 0xF16 + spec.id as u64);
+        println!("{}", data.table());
+        if let Ok(p) = data.write_csv(Path::new("results")) {
+            eprintln!("  wrote {}", p.display());
+        }
+    }
+    eprintln!("all figures done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 of the paper. Pass --full for paper-grade
+//! replication counts.
+
+fn main() {
+    procsim_bench::run_figure_main(9);
+}

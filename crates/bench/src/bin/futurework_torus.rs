@@ -1,0 +1,63 @@
+//! Future work (paper §6): "assess the performance of the allocation
+//! strategies on other common multicomputer networks, such as torus
+//! networks".
+//!
+//! Runs the paper's three strategies on the 16×22 **torus** (wraparound
+//! links, minimal dimension-ordered routing, dateline virtual channels)
+//! and prints them side by side with the mesh results. Expected physics:
+//! wraparound halves worst-case distances, so the penalty of a dispersed
+//! allocation shrinks and the strategies move closer together — the
+//! contiguity-preserving strategy matters most on the mesh.
+
+use procsim_core::{
+    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, TopologyKind,
+    WorkloadSpec,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    println!("mesh vs torus, uniform stochastic workload, FCFS\n");
+    println!(
+        "{:<8} {:<12} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "topo", "strategy", "load", "turnaround", "service", "latency", "blocking"
+    );
+    for load in [0.0004, 0.0008, 0.0012] {
+        for topology in [TopologyKind::Mesh, TopologyKind::Torus] {
+            for kind in [
+                StrategyKind::Gabl,
+                StrategyKind::Paging {
+                    size_index: 0,
+                    indexing: PageIndexing::RowMajor,
+                },
+                StrategyKind::Mbs,
+            ] {
+                let mut cfg = SimConfig::paper(
+                    kind,
+                    SchedulerKind::Fcfs,
+                    WorkloadSpec::Stochastic {
+                        sides: SideDist::Uniform,
+                        load,
+                        num_mes: 5.0,
+                    },
+                    90,
+                );
+                cfg.topology = topology;
+                cfg.warmup_jobs = 100;
+                cfg.measured_jobs = measured;
+                let p = run_point(&cfg, 3, reps);
+                println!(
+                    "{:<8} {:<12} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+                    format!("{topology:?}"),
+                    kind.to_string(),
+                    load,
+                    p.turnaround(),
+                    p.service(),
+                    p.latency(),
+                    p.blocking()
+                );
+            }
+        }
+        println!();
+    }
+}

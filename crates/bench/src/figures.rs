@@ -1,0 +1,174 @@
+//! Figure specifications: one entry per figure of the paper.
+
+/// Which response variable a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    Turnaround,
+    Service,
+    Utilization,
+    Blocking,
+    Latency,
+}
+
+impl Metric {
+    /// Index into [`procsim_core::RunMetrics::response_vector`].
+    pub fn index(&self) -> usize {
+        match self {
+            Metric::Turnaround => 0,
+            Metric::Service => 1,
+            Metric::Utilization => 2,
+            Metric::Blocking => 3,
+            Metric::Latency => 4,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Turnaround => "avg turnaround time",
+            Metric::Service => "avg service time",
+            Metric::Utilization => "mean system utilization",
+            Metric::Blocking => "avg packet blocking time",
+            Metric::Latency => "avg packet latency",
+        }
+    }
+}
+
+/// Which of the paper's three workloads a figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Synthetic SDSC Paragon trace ("real workload").
+    RealTrace,
+    /// Stochastic, uniform side lengths.
+    StochasticUniform,
+    /// Stochastic, exponential side lengths.
+    StochasticExponential,
+}
+
+impl WorkloadKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::RealTrace => "real workload (synthetic SDSC Paragon trace)",
+            WorkloadKind::StochasticUniform => "stochastic workload, uniform side lengths",
+            WorkloadKind::StochasticExponential => "stochastic workload, exponential side lengths",
+        }
+    }
+}
+
+/// Specification of one paper figure.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Paper figure number (2–16).
+    pub id: u8,
+    pub metric: Metric,
+    pub workload: WorkloadKind,
+    /// Load sweep (jobs per time unit). Utilization figures use a single
+    /// heavy load that saturates the queue ("the waiting queue is filled
+    /// very early", §5).
+    pub loads: &'static [f64],
+}
+
+impl FigureSpec {
+    pub fn title(&self) -> String {
+        format!(
+            "Figure {}: {} vs. system load, all-to-all, {} in a 16x22 mesh",
+            self.id,
+            self.metric.label(),
+            self.workload.label()
+        )
+    }
+}
+
+/// Seconds of trace runtime per message (DESIGN.md §3): calibrated so the
+/// mean per-processor message count of trace jobs ≈ 6, giving the ~5-10×
+/// real-vs-stochastic service-time ratio of the paper's Figs. 5 vs 6.
+pub const TRACE_RUNTIME_SCALE: f64 = 360.0;
+
+// Calibrated load axes (see crate docs): same regimes as the paper's
+// figures, shifted by our substrate's service-time scale.
+const TRACE_LOADS: &[f64] = &[0.0005, 0.001, 0.0015, 0.002, 0.003, 0.004, 0.005, 0.006];
+const UNIFORM_LOADS: &[f64] = &[0.0002, 0.0004, 0.0006, 0.0008, 0.001, 0.0012];
+const EXP_LOADS: &[f64] = &[0.0003, 0.0006, 0.0009, 0.0012, 0.0015, 0.0018];
+/// Saturating loads for the utilization bar charts (Figs. 8–10).
+const TRACE_SAT: &[f64] = &[0.02];
+const UNIFORM_SAT: &[f64] = &[0.004];
+const EXP_SAT: &[f64] = &[0.006];
+
+/// All fifteen figures of the paper's evaluation section.
+pub const ALL_FIGURES: [FigureSpec; 15] = [
+    FigureSpec { id: 2, metric: Metric::Turnaround, workload: WorkloadKind::RealTrace, loads: TRACE_LOADS },
+    FigureSpec { id: 3, metric: Metric::Turnaround, workload: WorkloadKind::StochasticUniform, loads: UNIFORM_LOADS },
+    FigureSpec { id: 4, metric: Metric::Turnaround, workload: WorkloadKind::StochasticExponential, loads: EXP_LOADS },
+    FigureSpec { id: 5, metric: Metric::Service, workload: WorkloadKind::RealTrace, loads: TRACE_LOADS },
+    FigureSpec { id: 6, metric: Metric::Service, workload: WorkloadKind::StochasticUniform, loads: UNIFORM_LOADS },
+    FigureSpec { id: 7, metric: Metric::Service, workload: WorkloadKind::StochasticExponential, loads: EXP_LOADS },
+    FigureSpec { id: 8, metric: Metric::Utilization, workload: WorkloadKind::RealTrace, loads: TRACE_SAT },
+    FigureSpec { id: 9, metric: Metric::Utilization, workload: WorkloadKind::StochasticUniform, loads: UNIFORM_SAT },
+    FigureSpec { id: 10, metric: Metric::Utilization, workload: WorkloadKind::StochasticExponential, loads: EXP_SAT },
+    FigureSpec { id: 11, metric: Metric::Blocking, workload: WorkloadKind::RealTrace, loads: TRACE_LOADS },
+    FigureSpec { id: 12, metric: Metric::Blocking, workload: WorkloadKind::StochasticUniform, loads: UNIFORM_LOADS },
+    FigureSpec { id: 13, metric: Metric::Blocking, workload: WorkloadKind::StochasticExponential, loads: EXP_LOADS },
+    FigureSpec { id: 14, metric: Metric::Latency, workload: WorkloadKind::RealTrace, loads: TRACE_LOADS },
+    FigureSpec { id: 15, metric: Metric::Latency, workload: WorkloadKind::StochasticUniform, loads: UNIFORM_LOADS },
+    FigureSpec { id: 16, metric: Metric::Latency, workload: WorkloadKind::StochasticExponential, loads: EXP_LOADS },
+];
+
+/// Looks up a figure by paper number.
+pub fn figure(id: u8) -> &'static FigureSpec {
+    ALL_FIGURES
+        .iter()
+        .find(|f| f.id == id)
+        .unwrap_or_else(|| panic!("no figure {id}; valid ids are 2..=16"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fifteen_figures_present() {
+        assert_eq!(ALL_FIGURES.len(), 15);
+        for id in 2u8..=16 {
+            assert_eq!(figure(id).id, id);
+        }
+    }
+
+    #[test]
+    fn metric_indices_match_response_vector() {
+        use procsim_core::RunMetrics;
+        assert_eq!(RunMetrics::RESPONSE_NAMES[Metric::Turnaround.index()], "turnaround");
+        assert_eq!(RunMetrics::RESPONSE_NAMES[Metric::Service.index()], "service");
+        assert_eq!(RunMetrics::RESPONSE_NAMES[Metric::Utilization.index()], "utilization");
+        assert_eq!(RunMetrics::RESPONSE_NAMES[Metric::Blocking.index()], "blocking");
+        assert_eq!(RunMetrics::RESPONSE_NAMES[Metric::Latency.index()], "latency");
+    }
+
+    #[test]
+    #[should_panic(expected = "no figure")]
+    fn unknown_figure_panics() {
+        figure(1);
+    }
+
+    #[test]
+    fn figure_groups_consistent() {
+        // metrics appear in the paper's order: 2-4 turnaround, 5-7 service,
+        // 8-10 utilization, 11-13 blocking, 14-16 latency; each triple is
+        // (real, uniform, exponential)
+        for (i, f) in ALL_FIGURES.iter().enumerate() {
+            let triple = i / 3;
+            let expect_metric = [
+                Metric::Turnaround,
+                Metric::Service,
+                Metric::Utilization,
+                Metric::Blocking,
+                Metric::Latency,
+            ][triple];
+            assert_eq!(f.metric, expect_metric);
+            let expect_wl = [
+                WorkloadKind::RealTrace,
+                WorkloadKind::StochasticUniform,
+                WorkloadKind::StochasticExponential,
+            ][i % 3];
+            assert_eq!(f.workload, expect_wl);
+        }
+    }
+}

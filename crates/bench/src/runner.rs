@@ -1,0 +1,280 @@
+//! Figure execution: parallel sweep over (series × load), table + CSV
+//! output.
+
+use crate::figures::{FigureSpec, WorkloadKind, TRACE_RUNTIME_SCALE};
+use procsim_core::{
+    run_point, PointResult, ParagonModel, SchedulerKind, SideDist, SimConfig, StrategyKind,
+    WorkloadSpec,
+};
+use std::io::Write;
+use std::path::Path;
+
+/// Experiment fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Reduced job counts and replication caps — minutes per figure.
+    Quick,
+    /// The paper's protocol: 1000 measured jobs per run, replicate to the
+    /// 95 % CI / 5 % relative-error criterion (capped at 20).
+    Full,
+}
+
+impl RunMode {
+    pub fn from_args() -> RunMode {
+        if std::env::args().any(|a| a == "--full") {
+            RunMode::Full
+        } else {
+            RunMode::Quick
+        }
+    }
+
+    fn warmup(&self) -> usize {
+        match self {
+            RunMode::Quick => 100,
+            RunMode::Full => 200,
+        }
+    }
+
+    fn measured(&self) -> usize {
+        match self {
+            RunMode::Quick => 400,
+            RunMode::Full => 1000,
+        }
+    }
+
+    fn reps(&self) -> (usize, usize) {
+        match self {
+            RunMode::Quick => (3, 5),
+            RunMode::Full => (5, 20),
+        }
+    }
+}
+
+/// One figure's regenerated data: a point per (series, load).
+#[derive(Debug)]
+pub struct FigureData {
+    pub spec: &'static FigureSpec,
+    /// Row-major: series outer, loads inner, matching
+    /// [`FigureData::series_labels`].
+    pub points: Vec<PointResult>,
+    pub series_labels: Vec<String>,
+}
+
+/// The paper's six series.
+fn series() -> Vec<(StrategyKind, SchedulerKind)> {
+    let mut v = Vec::new();
+    for sched in SchedulerKind::PAPER {
+        for strat in StrategyKind::PAPER {
+            v.push((strat, sched));
+        }
+    }
+    v
+}
+
+fn workload_spec(kind: WorkloadKind, load: f64) -> WorkloadSpec {
+    match kind {
+        WorkloadKind::RealTrace => WorkloadSpec::SyntheticTrace {
+            model: ParagonModel::default(),
+            load,
+            runtime_scale: TRACE_RUNTIME_SCALE,
+        },
+        WorkloadKind::StochasticUniform => WorkloadSpec::Stochastic {
+            sides: SideDist::Uniform,
+            load,
+            num_mes: 5.0,
+        },
+        WorkloadKind::StochasticExponential => WorkloadSpec::Stochastic {
+            sides: SideDist::Exponential,
+            load,
+            num_mes: 5.0,
+        },
+    }
+}
+
+/// Runs all points of a figure, parallelized over (series × load) with
+/// scoped threads.
+pub fn run_figure(spec: &'static FigureSpec, mode: RunMode, seed: u64) -> FigureData {
+    let combos: Vec<(usize, StrategyKind, SchedulerKind, f64)> = {
+        let mut v = Vec::new();
+        let mut i = 0;
+        for (strat, sched) in series() {
+            for &load in spec.loads {
+                v.push((i, strat, sched, load));
+                i += 1;
+            }
+        }
+        v
+    };
+    let (min_reps, max_reps) = mode.reps();
+    let mut results: Vec<Option<PointResult>> = (0..combos.len()).map(|_| None).collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(combos.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx = std::sync::Mutex::new(&mut results);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= combos.len() {
+                    break;
+                }
+                let (slot, strat, sched, load) = combos[i];
+                let mut cfg =
+                    SimConfig::paper(strat, sched, workload_spec(spec.workload, load), seed);
+                cfg.warmup_jobs = mode.warmup();
+                cfg.measured_jobs = mode.measured();
+                let point = run_point(&cfg, min_reps, max_reps);
+                results_mx.lock().unwrap()[slot] = Some(point);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    FigureData {
+        spec,
+        points: results.into_iter().map(|p| p.unwrap()).collect(),
+        series_labels: series()
+            .iter()
+            .map(|(st, sc)| format!("{st}({sc})"))
+            .collect(),
+    }
+}
+
+impl FigureData {
+    fn n_loads(&self) -> usize {
+        self.spec.loads.len()
+    }
+
+    /// The figure's headline value at (series s, load l).
+    pub fn value(&self, s: usize, l: usize) -> f64 {
+        self.points[s * self.n_loads() + l].means[self.spec.metric.index()]
+    }
+
+    /// CI half-width of the headline value at (series s, load l).
+    pub fn ci(&self, s: usize, l: usize) -> f64 {
+        self.points[s * self.n_loads() + l].ci95[self.spec.metric.index()]
+    }
+
+    /// Renders the figure as a text table (loads as rows, series as
+    /// columns), mirroring the paper's plotted curves.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}\n\n", self.spec.title()));
+        out.push_str(&format!("{:>10}", "load"));
+        for lbl in &self.series_labels {
+            out.push_str(&format!(" {lbl:>16}"));
+        }
+        out.push('\n');
+        for (l, load) in self.spec.loads.iter().enumerate() {
+            out.push_str(&format!("{load:>10.5}"));
+            for s in 0..self.series_labels.len() {
+                out.push_str(&format!(" {:>16.2}", self.value(s, l)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `results/figNN.csv` with full metrics per point.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("fig{:02}.csv", self.spec.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(
+            f,
+            "figure,series,load,reps,turnaround,service,utilization,blocking,latency,fragments,\
+             ci_turnaround,ci_service,ci_utilization,ci_blocking,ci_latency,ci_fragments"
+        )?;
+        for (s, lbl) in self.series_labels.iter().enumerate() {
+            for (l, load) in self.spec.loads.iter().enumerate() {
+                let p = &self.points[s * self.n_loads() + l];
+                writeln!(
+                    f,
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    self.spec.id,
+                    lbl,
+                    load,
+                    p.replications,
+                    p.means[0],
+                    p.means[1],
+                    p.means[2],
+                    p.means[3],
+                    p.means[4],
+                    p.means[5],
+                    p.ci95[0],
+                    p.ci95[1],
+                    p.ci95[2],
+                    p.ci95[3],
+                    p.ci95[4],
+                    p.ci95[5],
+                )?;
+            }
+        }
+        Ok(path)
+    }
+}
+
+/// Shared main() of the per-figure binaries: run, print, save CSV.
+pub fn run_figure_main(id: u8) {
+    let mode = RunMode::from_args();
+    let spec = crate::figures::figure(id);
+    eprintln!(
+        "running figure {id} in {mode:?} mode ({} points)...",
+        spec.loads.len() * 6
+    );
+    let t0 = std::time::Instant::now();
+    let data = run_figure(spec, mode, 0xF16 + id as u64);
+    println!("{}", data.table());
+    if spec.loads.len() > 1 {
+        let series: Vec<(String, Vec<f64>)> = data
+            .series_labels
+            .iter()
+            .enumerate()
+            .map(|(s, lbl)| {
+                (
+                    lbl.clone(),
+                    (0..spec.loads.len()).map(|l| data.value(s, l)).collect(),
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            crate::plot::ascii_chart(&spec.title(), spec.loads, &series, 64, 18)
+        );
+    }
+    match data.write_csv(Path::new("results")) {
+        Ok(p) => eprintln!("wrote {} ({:.1}s)", p.display(), t0.elapsed().as_secs_f64()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_order_matches_paper_legend() {
+        let s = series();
+        assert_eq!(s.len(), 6);
+        // FCFS block first, then SSD, GABL first within each
+        assert_eq!(format!("{}({})", s[0].0, s[0].1), "GABL(FCFS)");
+        assert_eq!(format!("{}({})", s[3].0, s[3].1), "GABL(SSD)");
+        assert_eq!(format!("{}({})", s[5].0, s[5].1), "MBS(SSD)");
+    }
+
+    #[test]
+    fn workload_spec_loads() {
+        for kind in [
+            WorkloadKind::RealTrace,
+            WorkloadKind::StochasticUniform,
+            WorkloadKind::StochasticExponential,
+        ] {
+            let w = workload_spec(kind, 0.003);
+            assert!((w.load() - 0.003).abs() < 1e-12);
+        }
+    }
+}

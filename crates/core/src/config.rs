@@ -1,0 +1,157 @@
+//! Experiment configuration.
+
+use mesh_alloc::StrategyKind;
+use mesh_sched::SchedulerKind;
+use workload::{JobSpec, ParagonModel, SideDist};
+use wormnet::{Pattern, TopologyKind};
+
+/// Which job stream drives a run.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// The paper's stochastic workload at a given system load
+    /// (jobs per time unit).
+    Stochastic {
+        sides: SideDist,
+        load: f64,
+        /// Mean per-processor message count (`num_mes`, paper value 5).
+        num_mes: f64,
+    },
+    /// The synthetic SDSC Paragon trace at a given system load; the
+    /// arrival-scaling factor `f` is derived as `1 / (mean_ia · load)`.
+    /// Each replication draws a fresh trace from the model.
+    SyntheticTrace {
+        model: ParagonModel,
+        load: f64,
+        /// Seconds of trace runtime per message (DESIGN.md §3; mean
+        /// runtime / runtime_scale becomes the mean per-processor message
+        /// count).
+        runtime_scale: f64,
+    },
+    /// A fixed externally supplied job stream (e.g. parsed from SWF).
+    /// Replication `r` replays the stream starting at job offset
+    /// `r × measured_jobs` so independent replications see disjoint
+    /// segments.
+    FixedTrace(std::sync::Arc<Vec<JobSpec>>),
+}
+
+impl WorkloadSpec {
+    /// The nominal system load of this workload (jobs per time unit).
+    pub fn load(&self) -> f64 {
+        match self {
+            WorkloadSpec::Stochastic { load, .. } => *load,
+            WorkloadSpec::SyntheticTrace { load, .. } => *load,
+            WorkloadSpec::FixedTrace(jobs) => {
+                if jobs.len() < 2 {
+                    return 0.0;
+                }
+                let span = jobs.last().unwrap().arrive.saturating_sub(jobs[0].arrive);
+                if span == 0 {
+                    0.0
+                } else {
+                    (jobs.len() - 1) as f64 / span as f64
+                }
+            }
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Mesh width `W` (paper: 16).
+    pub mesh_w: u16,
+    /// Mesh length `L` (paper: 22).
+    pub mesh_l: u16,
+    /// Per-node routing delay `ts` in cycles (paper: 3).
+    pub ts: u32,
+    /// Packet length in flits `Plen` (paper: 8).
+    pub plen: u32,
+    /// Communication pattern (paper: all-to-all).
+    pub pattern: Pattern,
+    /// Network topology (paper: mesh; torus is the paper's §6 future
+    /// work, with dateline virtual channels).
+    pub topology: TopologyKind,
+    /// Allocation strategy under test.
+    pub strategy: StrategyKind,
+    /// Scheduling strategy under test.
+    pub scheduler: SchedulerKind,
+    /// Job stream.
+    pub workload: WorkloadSpec,
+    /// Completed jobs discarded as warmup before measurement starts.
+    pub warmup_jobs: usize,
+    /// Completed jobs measured per run (paper: 1000).
+    pub measured_jobs: usize,
+    /// Master seed; replications derive substreams from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Paper defaults: 16×22 mesh, ts = 3, Plen = 8, all-to-all,
+    /// 1000 measured jobs after a 200-job warmup.
+    pub fn paper(
+        strategy: StrategyKind,
+        scheduler: SchedulerKind,
+        workload: WorkloadSpec,
+        seed: u64,
+    ) -> Self {
+        SimConfig {
+            mesh_w: 16,
+            mesh_l: 22,
+            ts: 3,
+            plen: 8,
+            pattern: Pattern::AllToAll,
+            topology: TopologyKind::Mesh,
+            strategy,
+            scheduler,
+            workload,
+            warmup_jobs: 200,
+            measured_jobs: 1000,
+            seed,
+        }
+    }
+
+    /// Short label like `"GABL(SSD)"`, the paper's series notation.
+    pub fn series_label(&self) -> String {
+        format!("{}({})", self.strategy, self.scheduler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper(
+            StrategyKind::Gabl,
+            SchedulerKind::Ssd,
+            WorkloadSpec::Stochastic {
+                sides: SideDist::Uniform,
+                load: 0.01,
+                num_mes: 5.0,
+            },
+            1,
+        );
+        assert_eq!((c.mesh_w, c.mesh_l), (16, 22));
+        assert_eq!(c.ts, 3);
+        assert_eq!(c.plen, 8);
+        assert_eq!(c.measured_jobs, 1000);
+        assert_eq!(c.series_label(), "GABL(SSD)");
+    }
+
+    #[test]
+    fn fixed_trace_load_estimate() {
+        let jobs: Vec<JobSpec> = (0..11)
+            .map(|i| JobSpec {
+                id: i,
+                arrive: i * 100,
+                a: 1,
+                b: 1,
+                msgs_per_node: 1,
+                service_demand: 1.0,
+            })
+            .collect();
+        let w = WorkloadSpec::FixedTrace(std::sync::Arc::new(jobs));
+        assert!((w.load() - 0.01).abs() < 1e-12);
+    }
+}

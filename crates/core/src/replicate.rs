@@ -1,0 +1,107 @@
+//! Replication driver: run one experimental point to the paper's
+//! precision criterion.
+
+use crate::config::SimConfig;
+use crate::metrics::RunMetrics;
+use crate::simulator::Simulator;
+use simstats::{Replications, StopReason};
+
+/// The converged estimate for one experimental point (one strategy ×
+/// scheduler × workload × load combination).
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Series label, e.g. `"GABL(SSD)"`.
+    pub label: String,
+    /// Nominal system load.
+    pub load: f64,
+    /// Replications executed.
+    pub replications: usize,
+    /// Why replication stopped.
+    pub stop: StopReason,
+    /// Means over replications, ordered as
+    /// [`RunMetrics::RESPONSE_NAMES`]: turnaround, service, utilization,
+    /// blocking, latency, fragments.
+    pub means: [f64; 6],
+    /// 95 % CI half-widths, same order.
+    pub ci95: [f64; 6],
+}
+
+impl PointResult {
+    pub fn turnaround(&self) -> f64 {
+        self.means[0]
+    }
+    pub fn service(&self) -> f64 {
+        self.means[1]
+    }
+    pub fn utilization(&self) -> f64 {
+        self.means[2]
+    }
+    pub fn blocking(&self) -> f64 {
+        self.means[3]
+    }
+    pub fn latency(&self) -> f64 {
+        self.means[4]
+    }
+    pub fn fragments(&self) -> f64 {
+        self.means[5]
+    }
+}
+
+/// Runs independent replications of `cfg` until the 95 % CI relative
+/// error of the mean turnaround is at most 5 % (the paper's criterion),
+/// bounded by `[min_reps, max_reps]`.
+pub fn run_point(cfg: &SimConfig, min_reps: usize, max_reps: usize) -> PointResult {
+    let mut ctl = Replications::paper(6, min_reps, max_reps);
+    let mut rep = 0u64;
+    while ctl.needs_more() {
+        let metrics: RunMetrics = Simulator::new(cfg, rep).run();
+        ctl.record(&metrics.response_vector());
+        rep += 1;
+    }
+    let mut means = [0.0; 6];
+    let mut ci = [0.0; 6];
+    for i in 0..6 {
+        means[i] = ctl.mean(i);
+        ci[i] = ctl.ci95(i);
+    }
+    PointResult {
+        label: cfg.series_label(),
+        load: cfg.workload.load(),
+        replications: ctl.count(),
+        stop: ctl.stop_reason(),
+        means,
+        ci95: ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadSpec;
+    use mesh_alloc::StrategyKind;
+    use mesh_sched::SchedulerKind;
+    use workload::SideDist;
+
+    #[test]
+    fn point_converges_or_hits_budget() {
+        let mut cfg = SimConfig::paper(
+            StrategyKind::Gabl,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::Stochastic {
+                sides: SideDist::Uniform,
+                load: 0.002,
+                num_mes: 5.0,
+            },
+            99,
+        );
+        cfg.warmup_jobs = 10;
+        cfg.measured_jobs = 80;
+        let p = run_point(&cfg, 3, 6);
+        assert!(p.replications >= 3 && p.replications <= 6);
+        assert!(p.turnaround() > 0.0);
+        assert!(p.utilization() > 0.0 && p.utilization() <= 1.0);
+        assert_eq!(p.label, "GABL(FCFS)");
+        assert!((p.load - 0.002).abs() < 1e-12);
+        assert!(matches!(p.stop, StopReason::Converged | StopReason::Budget));
+    }
+}

@@ -1,0 +1,667 @@
+//! The hybrid job-level / flit-level simulator.
+
+use crate::config::{SimConfig, WorkloadSpec};
+use crate::metrics::RunMetrics;
+use desim::{EventQueue, SimRng, Time};
+use mesh2d::Mesh;
+use mesh_alloc::{Allocation, AllocationStrategy};
+use mesh_sched::{QueuedJob, RunningJob, Scheduler};
+use simstats::{TimeWeighted, Welford};
+use std::collections::HashMap;
+use std::sync::Arc;
+use workload::{trace_to_jobs, JobSpec, StochasticGen};
+use wormnet::{pattern_messages, Network, Topology, TopologyKind};
+
+/// Job-level events.
+#[derive(Debug)]
+enum Ev {
+    /// A job arrives and joins the scheduling queue.
+    Arrival(JobSpec),
+    /// A single-processor job finished its local computation.
+    LocalDone(u64),
+}
+
+/// Packet tags encode (job id, sender rank) so a delivery can trigger the
+/// sender's next message: closed-loop (synchronous) sends, one outstanding
+/// packet per processor, as in a compute/send/wait application loop.
+const RANK_BITS: u32 = 20;
+
+fn encode_tag(job: u64, rank: usize) -> u64 {
+    debug_assert!((rank as u64) < (1 << RANK_BITS));
+    (job << RANK_BITS) | rank as u64
+}
+
+fn decode_tag(tag: u64) -> (u64, usize) {
+    (tag >> RANK_BITS, (tag & ((1 << RANK_BITS) - 1)) as usize)
+}
+
+#[derive(Debug)]
+struct JobState {
+    spec: JobSpec,
+    /// Allocation time (service start); `Time::MAX` while queued.
+    start: Time,
+    alloc: Option<Allocation>,
+    /// Per-rank remaining destinations (closed loop: rank r's next message
+    /// is sent when its previous one is delivered).
+    sends: Vec<std::collections::VecDeque<mesh2d::Coord>>,
+    /// Rank -> processor coordinate.
+    rank_coord: Vec<mesh2d::Coord>,
+    /// Packets still in flight or unsent.
+    outstanding: u32,
+    /// Per-job packet accumulators (folded into run metrics at departure
+    /// so only measured jobs contribute).
+    lat_sum: u64,
+    blk_sum: u64,
+    pkts: u64,
+}
+
+/// Where the next arrival comes from.
+enum Source {
+    Stochastic {
+        gen: StochasticGen,
+        clock: Time,
+        next_id: u64,
+    },
+    Trace {
+        jobs: Arc<Vec<JobSpec>>,
+        pos: usize,
+        /// Arrival-time rebase so the segment starts at 0.
+        base: Time,
+        /// Wrap-around segment end (exclusive index distance).
+        remaining: usize,
+    },
+}
+
+/// One simulation replication. Create with [`Simulator::new`], consume
+/// with [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    mesh: Mesh,
+    strategy: Box<dyn AllocationStrategy>,
+    scheduler: Box<dyn Scheduler>,
+    net: Network,
+    events: EventQueue<Ev>,
+    now: Time,
+    wl_rng: SimRng,
+    pat_rng: SimRng,
+    source: Source,
+    jobs: HashMap<u64, JobState>,
+    completed: usize,
+    util: TimeWeighted,
+    turn: Welford,
+    serv: Welford,
+    wait: Welford,
+    frag: Welford,
+    pkt_lat_sum: u64,
+    pkt_blk_sum: u64,
+    pkt_count: u64,
+    /// Monotone internal job-id counter (trace wrap-around can repeat
+    /// source ids, so every arrival gets a fresh simulator-side id).
+    next_internal_id: u64,
+    /// Online EWMA of observed service-time / service-demand, used to
+    /// turn demand estimates into time estimates for reservation-aware
+    /// schedulers (EASY backfilling).
+    demand_time_factor: f64,
+}
+
+impl Simulator {
+    /// Builds replication `rep` of the configured experiment. Different
+    /// `rep` values use provably independent random substreams; the same
+    /// `(seed, rep)` pair is fully reproducible.
+    pub fn new(cfg: &SimConfig, rep: u64) -> Self {
+        let mut root = SimRng::new(cfg.seed);
+        let mut rep_rng = root.substream(rep + 1);
+        let mut wl_rng = rep_rng.substream(1);
+        let pat_rng = rep_rng.substream(2);
+        let strat_seed = rep_rng.substream(3).raw();
+
+        let mesh = Mesh::new(cfg.mesh_w, cfg.mesh_l);
+        let strategy = cfg.strategy.build(&mesh, strat_seed);
+        let scheduler = cfg.scheduler.build();
+        let topo = match cfg.topology {
+            TopologyKind::Mesh => Topology::new(cfg.mesh_w, cfg.mesh_l),
+            TopologyKind::Torus => Topology::new_torus(cfg.mesh_w, cfg.mesh_l),
+        };
+        let net = Network::with_topology(topo, cfg.ts);
+
+        let needed = cfg.warmup_jobs + cfg.measured_jobs;
+        let source = match &cfg.workload {
+            WorkloadSpec::Stochastic {
+                sides,
+                load,
+                num_mes,
+            } => Source::Stochastic {
+                gen: StochasticGen {
+                    mesh_w: cfg.mesh_w,
+                    mesh_l: cfg.mesh_l,
+                    sides: *sides,
+                    load: *load,
+                    num_mes_mean: *num_mes,
+                },
+                clock: 0,
+                next_id: 0,
+            },
+            WorkloadSpec::SyntheticTrace {
+                model,
+                load,
+                runtime_scale,
+            } => {
+                // fresh trace draw per replication; generate only as many
+                // jobs as a run can consume (plus slack for queue growth)
+                let mut m = model.clone();
+                m.jobs = (needed * 3 / 2 + 100).min(m.jobs.max(needed + 50));
+                let records = m.generate(&mut wl_rng.substream(99));
+                let f = workload::paragon::factor_for_load(m.mean_interarrival_s, *load);
+                let jobs = trace_to_jobs(&records, cfg.mesh_w, cfg.mesh_l, f, *runtime_scale);
+                let remaining = jobs.len();
+                Source::Trace {
+                    jobs: Arc::new(jobs),
+                    pos: 0,
+                    base: 0,
+                    remaining,
+                }
+            }
+            WorkloadSpec::FixedTrace(jobs) => {
+                assert!(!jobs.is_empty(), "empty fixed trace");
+                // disjoint segment per replication, wrapping around
+                let pos = (rep as usize * needed) % jobs.len();
+                let base = jobs[pos].arrive;
+                Source::Trace {
+                    jobs: jobs.clone(),
+                    pos,
+                    base,
+                    remaining: jobs.len(),
+                }
+            }
+        };
+
+        Simulator {
+            cfg: cfg.clone(),
+            mesh,
+            strategy,
+            scheduler,
+            net,
+            events: EventQueue::new(),
+            now: 0,
+            wl_rng,
+            pat_rng,
+            source,
+            jobs: HashMap::new(),
+            completed: 0,
+            util: TimeWeighted::new(0, 0.0),
+            turn: Welford::new(),
+            serv: Welford::new(),
+            wait: Welford::new(),
+            frag: Welford::new(),
+            pkt_lat_sum: 0,
+            pkt_blk_sum: 0,
+            pkt_count: 0,
+            next_internal_id: 0,
+            demand_time_factor: 1.0,
+        }
+    }
+
+    /// Schedules the next arrival from the job source, if any.
+    fn schedule_next_arrival(&mut self) {
+        match &mut self.source {
+            Source::Stochastic {
+                gen,
+                clock,
+                next_id,
+            } => {
+                let job = gen.next_job(*next_id, clock, &mut self.wl_rng);
+                *next_id += 1;
+                self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
+            }
+            Source::Trace {
+                jobs,
+                pos,
+                base,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return;
+                }
+                *remaining -= 1;
+                let mut job = jobs[*pos];
+                // rebase the segment to start at 0; on wrap-around,
+                // continue seamlessly from the current clock
+                if jobs[*pos].arrive < *base {
+                    *base = jobs[*pos].arrive;
+                }
+                job.arrive = self.now.max(jobs[*pos].arrive - *base);
+                job.id = (*pos) as u64; // unique within segment
+                *pos += 1;
+                if *pos == jobs.len() {
+                    *pos = 0;
+                    *base = 0;
+                }
+                self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(spec) => {
+                let id = self.next_internal_id;
+                self.next_internal_id += 1;
+                let mut spec = spec;
+                spec.id = id;
+                self.scheduler.enqueue(QueuedJob {
+                    job_id: id,
+                    arrive: spec.arrive,
+                    a: spec.a,
+                    b: spec.b,
+                    service_demand: spec.service_demand,
+                });
+                self.jobs.insert(
+                    id,
+                    JobState {
+                        spec,
+                        start: Time::MAX,
+                        alloc: None,
+                        sends: Vec::new(),
+                        rank_coord: Vec::new(),
+                        outstanding: 0,
+                        lat_sum: 0,
+                        blk_sum: 0,
+                        pkts: 0,
+                    },
+                );
+                self.schedule_next_arrival();
+            }
+            Ev::LocalDone(id) => self.depart(id),
+        }
+    }
+
+    /// One scheduling pass: repeatedly attempt the policy's candidates
+    /// until a full pass starts nothing.
+    fn schedule_pass(&mut self) {
+        if self.scheduler.wants_observation() {
+            let running: Vec<RunningJob> = self
+                .jobs
+                .values()
+                .filter(|js| js.start != Time::MAX)
+                .map(|js| RunningJob {
+                    procs: js.alloc.as_ref().map_or(0, |a| a.size()),
+                    est_completion: js.start
+                        + (js.spec.service_demand * self.demand_time_factor).round() as Time,
+                })
+                .collect();
+            self.scheduler
+                .observe(&running, self.mesh.free_count(), self.now);
+            self.scheduler.set_demand_time_factor(self.demand_time_factor);
+        }
+        loop {
+            let order = self.scheduler.attempt_order();
+            if order.is_empty() {
+                return;
+            }
+            let mut started = false;
+            for id in order {
+                let (a, b) = {
+                    let js = self.jobs.get(&id).expect("queued job without state");
+                    (js.spec.a, js.spec.b)
+                };
+                if let Some(alloc) = self.strategy.allocate(&mut self.mesh, a, b) {
+                    self.scheduler.remove(id).expect("job vanished from queue");
+                    self.start_job(id, alloc);
+                    started = true;
+                    break;
+                }
+            }
+            if !started {
+                return;
+            }
+        }
+    }
+
+    fn start_job(&mut self, id: u64, alloc: Allocation) {
+        self.util.update(self.now, self.mesh.used_count() as f64);
+        let (msgs_per_node, nodes) = {
+            let js = self.jobs.get_mut(&id).unwrap();
+            js.start = self.now;
+            let nodes = alloc.nodes();
+            js.alloc = Some(alloc);
+            (js.spec.msgs_per_node, nodes)
+        };
+        let msgs = pattern_messages(self.cfg.pattern, &nodes, msgs_per_node, &mut self.pat_rng);
+        if msgs.is_empty() {
+            // single-processor job (or pattern with a silent role):
+            // local-computation proxy with the same per-message cost a
+            // network-free send would have
+            let local = msgs_per_node as Time * (self.cfg.plen + self.cfg.ts) as Time;
+            self.events.schedule(self.now + local.max(1), Ev::LocalDone(id));
+            return;
+        }
+        // group messages into per-rank destination queues (pattern output
+        // lists each sender's messages contiguously, in rank order)
+        let rank_of: std::collections::HashMap<mesh2d::Coord, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| (c, r))
+            .collect();
+        let mut sends: Vec<std::collections::VecDeque<mesh2d::Coord>> =
+            vec![std::collections::VecDeque::new(); nodes.len()];
+        for (src, dst) in &msgs {
+            sends[rank_of[src]].push_back(*dst);
+        }
+        {
+            let js = self.jobs.get_mut(&id).unwrap();
+            js.outstanding = msgs.len() as u32;
+            js.rank_coord = nodes;
+            js.sends = sends;
+        }
+        // closed loop: every rank launches its first message; subsequent
+        // messages go out as deliveries come back
+        let js = self.jobs.get_mut(&id).unwrap();
+        let first: Vec<(usize, mesh2d::Coord, mesh2d::Coord)> = js
+            .sends
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(r, q)| q.pop_front().map(|d| (r, js.rank_coord[r], d)))
+            .collect();
+        for (rank, src, dst) in first {
+            self.net
+                .send(src, dst, self.cfg.plen, encode_tag(id, rank), self.now);
+        }
+    }
+
+    fn depart(&mut self, id: u64) {
+        let js = self.jobs.remove(&id).expect("departure of unknown job");
+        debug_assert_eq!(js.outstanding, 0);
+        if let Some(alloc) = js.alloc {
+            let frags = alloc.fragments();
+            self.strategy.release(&mut self.mesh, alloc);
+            self.util.update(self.now, self.mesh.used_count() as f64);
+            self.completed += 1;
+            if self.completed == self.cfg.warmup_jobs {
+                // measurement starts now: discard the warmup transient
+                self.util.reset_at(self.now);
+            }
+            if js.spec.service_demand > 0.0 {
+                // calibrate the demand->time factor for reservation-aware
+                // scheduling (EWMA, alpha = 0.05)
+                let obs = (self.now - js.start) as f64 / js.spec.service_demand;
+                self.demand_time_factor = 0.95 * self.demand_time_factor + 0.05 * obs;
+            }
+            if self.completed > self.cfg.warmup_jobs {
+                self.turn.push((self.now - js.spec.arrive) as f64);
+                self.serv.push((self.now - js.start) as f64);
+                self.wait.push((js.start - js.spec.arrive) as f64);
+                self.frag.push(frags as f64);
+                self.pkt_lat_sum += js.lat_sum;
+                self.pkt_blk_sum += js.blk_sum;
+                self.pkt_count += js.pkts;
+            }
+        }
+    }
+
+    /// Collects delivered packets; departs jobs whose last packet landed.
+    fn absorb_network_completions(&mut self) -> bool {
+        let completions = self.net.drain_completions();
+        if completions.is_empty() {
+            return false;
+        }
+        let mut done: Vec<u64> = Vec::new();
+        for c in completions {
+            let (job_id, rank) = decode_tag(c.tag);
+            let js = self
+                .jobs
+                .get_mut(&job_id)
+                .expect("packet completion for unknown job");
+            js.lat_sum += c.latency;
+            js.blk_sum += c.blocked;
+            js.pkts += 1;
+            js.outstanding -= 1;
+            // closed loop: the sender's next message goes out now
+            if let Some(dst) = js.sends[rank].pop_front() {
+                let src = js.rank_coord[rank];
+                self.net
+                    .send(src, dst, self.cfg.plen, encode_tag(job_id, rank), self.now);
+            }
+            if js.outstanding == 0 {
+                done.push(job_id);
+            }
+        }
+        let any = !done.is_empty();
+        for id in done {
+            self.depart(id);
+        }
+        any
+    }
+
+    /// Processes all events due at or before the current time. Returns
+    /// whether anything was handled.
+    fn drain_due(&mut self) -> bool {
+        let mut any = false;
+        while let Some((_, ev)) = self.events.pop_due(self.now) {
+            self.handle(ev);
+            any = true;
+        }
+        any
+    }
+
+    /// Runs like [`Simulator::run`] but also returns the mean hop count
+    /// over every delivered packet — a placement-quality diagnostic (the
+    /// distance argument of the paper's §6).
+    pub fn run_with_netstats(self) -> (RunMetrics, f64) {
+        let mut sim = self;
+        let metrics = sim.run_inner();
+        let c = sim.net.counters();
+        let hops = if c.delivered == 0 {
+            0.0
+        } else {
+            c.total_hops as f64 / c.delivered as f64
+        };
+        (metrics, hops)
+    }
+
+    /// Runs the replication to completion and returns its metrics.
+    pub fn run(mut self) -> RunMetrics {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> RunMetrics {
+        self.schedule_next_arrival();
+        let target = self.cfg.warmup_jobs + self.cfg.measured_jobs;
+        while self.completed < target {
+            if self.net.is_idle() {
+                // jump straight to the next job-level event
+                match self.events.pop() {
+                    Some((t, ev)) => {
+                        debug_assert!(t >= self.now);
+                        self.now = t;
+                        self.handle(ev);
+                        self.drain_due();
+                        self.schedule_pass();
+                    }
+                    None => break, // job source exhausted
+                }
+            } else {
+                self.now += 1;
+                self.net.step(self.now);
+                let departed = self.absorb_network_completions();
+                let evented = self.drain_due();
+                if departed || evented {
+                    self.schedule_pass();
+                }
+            }
+        }
+
+        let measured = self.completed.saturating_sub(self.cfg.warmup_jobs) as u64;
+        RunMetrics {
+            jobs: measured,
+            mean_turnaround: self.turn.mean(),
+            mean_service: self.serv.mean(),
+            utilization: self.util.average(self.now) / self.mesh.size() as f64,
+            mean_packet_blocking: if self.pkt_count == 0 {
+                0.0
+            } else {
+                self.pkt_blk_sum as f64 / self.pkt_count as f64
+            },
+            mean_packet_latency: if self.pkt_count == 0 {
+                0.0
+            } else {
+                self.pkt_lat_sum as f64 / self.pkt_count as f64
+            },
+            mean_wait: self.wait.mean(),
+            mean_fragments: self.frag.mean(),
+            packets: self.pkt_count,
+            end_time: self.now,
+            turnaround_stats: self.turn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_alloc::StrategyKind;
+    use mesh_sched::SchedulerKind;
+    use workload::SideDist;
+
+    fn quick_cfg(strategy: StrategyKind, scheduler: SchedulerKind, load: f64) -> SimConfig {
+        let mut c = SimConfig::paper(
+            strategy,
+            scheduler,
+            WorkloadSpec::Stochastic {
+                sides: SideDist::Uniform,
+                load,
+                num_mes: 5.0,
+            },
+            12345,
+        );
+        c.warmup_jobs = 20;
+        c.measured_jobs = 120;
+        c
+    }
+
+    #[test]
+    fn light_load_completes_all_jobs() {
+        let cfg = quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.001);
+        let m = Simulator::new(&cfg, 0).run();
+        assert_eq!(m.jobs, 120);
+        assert!(m.mean_turnaround > 0.0);
+        assert!(m.mean_service > 0.0);
+        assert!(m.mean_turnaround >= m.mean_service);
+        assert!(m.packets > 0);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rep() {
+        let cfg = quick_cfg(StrategyKind::Mbs, SchedulerKind::Ssd, 0.005);
+        let a = Simulator::new(&cfg, 3).run();
+        let b = Simulator::new(&cfg, 3).run();
+        assert_eq!(a.mean_turnaround, b.mean_turnaround);
+        assert_eq!(a.end_time, b.end_time);
+        let c = Simulator::new(&cfg, 4).run();
+        assert_ne!(a.end_time, c.end_time, "different reps must differ");
+    }
+
+    #[test]
+    fn turnaround_grows_with_load() {
+        let lo = Simulator::new(&quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.0005), 0)
+            .run();
+        let hi =
+            Simulator::new(&quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.03), 0).run();
+        assert!(
+            hi.mean_turnaround > lo.mean_turnaround,
+            "lo {} hi {}",
+            lo.mean_turnaround,
+            hi.mean_turnaround
+        );
+    }
+
+    #[test]
+    fn gabl_more_contiguous_than_paging() {
+        let g = Simulator::new(&quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.02), 0).run();
+        let p = Simulator::new(
+            &quick_cfg(
+                StrategyKind::Paging {
+                    size_index: 0,
+                    indexing: mesh_alloc::PageIndexing::RowMajor,
+                },
+                SchedulerKind::Fcfs,
+                0.02,
+            ),
+            0,
+        )
+        .run();
+        assert!(
+            g.mean_fragments < p.mean_fragments,
+            "GABL {} vs Paging(0) {}",
+            g.mean_fragments,
+            p.mean_fragments
+        );
+    }
+
+    #[test]
+    fn service_time_excludes_waiting() {
+        // at saturation waiting dominates turnaround but not service
+        let cfg = quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.05);
+        let m = Simulator::new(&cfg, 0).run();
+        assert!(m.mean_wait > 0.0);
+        assert!((m.mean_turnaround - (m.mean_service + m.mean_wait)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn synthetic_trace_runs() {
+        let mut cfg = SimConfig::paper(
+            StrategyKind::Gabl,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::SyntheticTrace {
+                model: workload::ParagonModel::default(),
+                load: 0.002,
+                runtime_scale: 60.0,
+            },
+            7,
+        );
+        cfg.warmup_jobs = 10;
+        cfg.measured_jobs = 60;
+        let m = Simulator::new(&cfg, 0).run();
+        assert_eq!(m.jobs, 60);
+        assert!(m.mean_service > 0.0);
+    }
+
+    #[test]
+    fn fixed_trace_replays_segments() {
+        let jobs: Vec<JobSpec> = (0..500)
+            .map(|i| JobSpec {
+                id: i,
+                arrive: i * 50,
+                a: 1 + (i % 4) as u16,
+                b: 1 + (i % 5) as u16,
+                msgs_per_node: 3,
+                service_demand: 3.0,
+            })
+            .collect();
+        let mut cfg = SimConfig::paper(
+            StrategyKind::Mbs,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::FixedTrace(Arc::new(jobs)),
+            7,
+        );
+        cfg.warmup_jobs = 5;
+        cfg.measured_jobs = 50;
+        let a = Simulator::new(&cfg, 0).run();
+        let b = Simulator::new(&cfg, 1).run();
+        assert_eq!(a.jobs, 50);
+        assert_eq!(b.jobs, 50);
+    }
+
+    #[test]
+    fn ssd_beats_fcfs_on_turnaround_under_load() {
+        // the paper's §4 claim, checked at a congesting load
+        let f = Simulator::new(&quick_cfg(StrategyKind::Gabl, SchedulerKind::Fcfs, 0.03), 1).run();
+        let s = Simulator::new(&quick_cfg(StrategyKind::Gabl, SchedulerKind::Ssd, 0.03), 1).run();
+        assert!(
+            s.mean_turnaround < f.mean_turnaround,
+            "SSD {} vs FCFS {}",
+            s.mean_turnaround,
+            f.mean_turnaround
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # desim — a small discrete-event simulation engine
+//!
+//! The simulation kernel underneath the mesh simulator (the role ProcSimity's
+//! C kernel played for the original paper). It provides:
+//!
+//! * [`Time`] — the global simulated clock type. One unit is one *flit
+//!   cycle*: the time for a flit to cross one link (paper §5).
+//! * [`EventQueue`] — a monotone future-event list with deterministic FIFO
+//!   tie-breaking for simultaneous events.
+//! * [`rng`] — seedable, splittable random streams and the probability
+//!   distributions the paper's workloads need (exponential inter-arrival
+//!   times, uniform / bounded-exponential job side lengths, lognormal
+//!   runtimes for the synthetic trace).
+//!
+//! The engine is deliberately generic over the event payload type so each
+//! layer (job-level simulator, tests, examples) can define its own event
+//! enum without dynamic dispatch.
+
+pub mod queue;
+pub mod rng;
+
+pub use queue::{EventQueue, Time};
+pub use rng::SimRng;

@@ -1,0 +1,258 @@
+//! Seedable random streams and the distributions the paper's workloads use.
+//!
+//! All stochastic inputs of the simulation flow through [`SimRng`] so that a
+//! run is reproducible from a single `u64` seed, and so that independent
+//! replications can use provably disjoint substreams (a requirement of the
+//! paper's output analysis: "averaged over enough independent runs so that
+//! the confidence level is 95%").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::queue::Time;
+
+/// A deterministic random stream.
+///
+/// Wraps a fast non-cryptographic PRNG and layers the distributions needed
+/// by the workload models: exponential (inter-arrival times, message
+/// counts, job side lengths), discrete uniform (side lengths), and
+/// lognormal (synthetic trace runtimes).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent substream. Uses SplitMix64 on
+    /// `(seed-ish state, id)` so substreams for different ids are decorrelated
+    /// regardless of how much the parent stream has been consumed.
+    pub fn substream(&mut self, id: u64) -> SimRng {
+        let mut z = self
+            .rng
+            .gen::<u64>()
+            .wrapping_add(id.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn uniform01(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn uniform_incl(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // 1 - U avoids ln(0)
+        -mean * (1.0 - self.uniform01()).ln()
+    }
+
+    /// Exponential inter-arrival delay in whole cycles, at least 1.
+    ///
+    /// `rate` is the paper's *system load* (jobs per time unit); the mean
+    /// inter-arrival time is `1 / rate`.
+    #[inline]
+    pub fn exp_interarrival(&mut self, rate: f64) -> Time {
+        debug_assert!(rate > 0.0);
+        (self.exp(1.0 / rate).round() as Time).max(1)
+    }
+
+    /// Exponentially distributed side length with mean `mean`, clamped to
+    /// `[1, max]` — the paper's second stochastic distribution ("width and
+    /// length of job requests are exponentially distributed with a mean of
+    /// half the side ... of the entire mesh"), which must be clamped to fit
+    /// the machine.
+    #[inline]
+    pub fn exp_side(&mut self, mean: f64, max: u16) -> u16 {
+        let v = self.exp(mean).ceil();
+        (v as u16).clamp(1, max)
+    }
+
+    /// Uniform side length over `[1, max]` — the paper's first stochastic
+    /// distribution.
+    #[inline]
+    pub fn uniform_side(&mut self, max: u16) -> u16 {
+        self.uniform_incl(1, max as u64) as u16
+    }
+
+    /// Exponentially distributed message count with the given mean,
+    /// rounded, at least 1 (paper: "the number of messages ... is
+    /// exponentially distributed with a mean num_mes").
+    #[inline]
+    pub fn exp_count(&mut self, mean: f64) -> u32 {
+        (self.exp(mean).round() as u32).max(1)
+    }
+
+    /// Standard normal variate (Box–Muller; one value per call for
+    /// simplicity — this is nowhere near the hot path).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Lognormal variate with the given *log-space* parameters.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p
+    }
+
+    /// Uniform choice of an index in `0..n`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Raw u64 draw (for deriving seeds).
+    #[inline]
+    pub fn raw(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.raw(), b.raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.raw() == b.raw()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn substreams_are_deterministic_and_distinct() {
+        let mut root1 = SimRng::new(7);
+        let mut root2 = SimRng::new(7);
+        let mut s1 = root1.substream(3);
+        let mut s2 = root2.substream(3);
+        assert_eq!(s1.raw(), s2.raw());
+
+        let mut root = SimRng::new(7);
+        let mut a = root.substream(1);
+        let mut root = SimRng::new(7);
+        let mut b = root.substream(2);
+        assert_ne!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::new(9);
+        let n = 200_000;
+        let mean = 40.0;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < mean * 0.02, "sample mean {m}");
+    }
+
+    #[test]
+    fn interarrival_rate_matches_load() {
+        let mut r = SimRng::new(11);
+        let rate = 0.02; // jobs per time unit
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| r.exp_interarrival(rate)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn uniform_side_covers_range() {
+        let mut r = SimRng::new(13);
+        let mut seen = [false; 17];
+        for _ in 0..10_000 {
+            let s = r.uniform_side(16);
+            assert!((1..=16).contains(&s));
+            seen[s as usize] = true;
+        }
+        assert!(seen[1..=16].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn exp_side_clamped() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let s = r.exp_side(8.0, 16);
+            assert!((1..=16).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exp_count_at_least_one_with_right_mean() {
+        let mut r = SimRng::new(19);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| r.exp_count(5.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!(total >= n); // every draw >= 1
+        // E[max(1, round(Exp(5)))] is slightly above 5
+        assert!((mean - 5.0).abs() < 0.3, "mean count {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(23);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = SimRng::new(29);
+        let mu = 3.0;
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| r.lognormal(mu, 1.5)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        let expected = mu.exp();
+        assert!(
+            (median - expected).abs() < expected * 0.05,
+            "median {median} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut r = SimRng::new(31);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Power-of-two square decomposition for the Multiple Buddy Strategy.
+//!
+//! MBS "divides the mesh into non-overlapping square sub-meshes with side
+//! lengths equal to the powers of two upon initialization" (paper §3).
+//! Real machines — including the paper's 16 × 22 target — are rarely
+//! power-of-two squares, so the decomposition must tile an arbitrary
+//! rectangle: we repeatedly carve out the largest aligned grid of
+//! `2^k × 2^k` squares and recurse on the two remaining strips.
+
+use crate::coord::Coord;
+use crate::submesh::SubMesh;
+
+/// Largest power of two `<= n` (n >= 1).
+#[inline]
+fn floor_pow2(n: u16) -> u16 {
+    debug_assert!(n >= 1);
+    1 << (15 - n.leading_zeros() as u16)
+}
+
+/// Decomposes the `w × l` region with base `(0, 0)` into non-overlapping
+/// squares whose side lengths are powers of two, covering every processor
+/// exactly once. Squares are returned largest-first.
+///
+/// For the paper's 16 × 22 mesh this yields one 16×16, four 4×4 (as a
+/// 16×4 strip), and eight 2×2 (as a 16×2 strip), plus nothing else:
+/// 256 + 64 + 32 = 352 processors.
+pub fn decompose_pow2_squares(w: u16, l: u16) -> Vec<SubMesh> {
+    assert!(w > 0 && l > 0, "degenerate region {w}x{l}");
+    let mut out = Vec::new();
+    decompose_region(Coord::new(0, 0), w, l, &mut out);
+    out.sort_by(|a, b| b.size().cmp(&a.size()).then(a.base.cmp(&b.base)));
+    out
+}
+
+fn decompose_region(base: Coord, w: u16, l: u16, out: &mut Vec<SubMesh>) {
+    if w == 0 || l == 0 {
+        return;
+    }
+    let k = floor_pow2(w.min(l));
+    let nx = w / k;
+    let ny = l / k;
+    for j in 0..ny {
+        for i in 0..nx {
+            out.push(SubMesh::from_base_size(
+                Coord::new(base.x + i * k, base.y + j * k),
+                k,
+                k,
+            ));
+        }
+    }
+    // right strip: (w - nx*k) x (ny*k)
+    decompose_region(Coord::new(base.x + nx * k, base.y), w - nx * k, ny * k, out);
+    // top strip: full width x (l - ny*k)
+    decompose_region(Coord::new(base.x, base.y + ny * k), w, l - ny * k, out);
+}
+
+/// Splits a `2^k × 2^k` square (k >= 1) into its four `2^(k-1)` buddy
+/// quadrants, ordered base-first (SW, SE, NW, NE).
+///
+/// # Panics
+/// Panics if the square's side is not an even power of two or is 1.
+pub fn split_square(sq: &SubMesh) -> [SubMesh; 4] {
+    let side = sq.width();
+    assert_eq!(side, sq.length(), "buddy split of non-square {sq}");
+    assert!(side >= 2 && side.is_power_of_two(), "unsplittable side {side}");
+    let h = side / 2;
+    let (bx, by) = (sq.base.x, sq.base.y);
+    [
+        SubMesh::from_base_size(Coord::new(bx, by), h, h),
+        SubMesh::from_base_size(Coord::new(bx + h, by), h, h),
+        SubMesh::from_base_size(Coord::new(bx, by + h), h, h),
+        SubMesh::from_base_size(Coord::new(bx + h, by + h), h, h),
+    ]
+}
+
+/// Base-4 factorization of a processor count, as used by MBS: returns
+/// digits `d_i` (each in `0..=3`) such that
+/// `p = Σ d_i · (2^i × 2^i)` with `i` ascending.
+pub fn base4_digits(p: u32) -> Vec<u8> {
+    assert!(p > 0, "zero-processor request");
+    let mut digits = Vec::new();
+    let mut rest = p;
+    while rest > 0 {
+        digits.push((rest % 4) as u8);
+        rest /= 4;
+    }
+    digits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn covers_exactly(squares: &[SubMesh], w: u16, l: u16) {
+        let mut seen = HashSet::new();
+        for s in squares {
+            assert_eq!(s.width(), s.length(), "non-square {s}");
+            assert!(s.width().is_power_of_two(), "side not pow2: {s}");
+            for c in s.iter() {
+                assert!(c.x < w && c.y < l, "{c} outside {w}x{l}");
+                assert!(seen.insert(c), "overlap at {c}");
+            }
+        }
+        assert_eq!(seen.len(), w as usize * l as usize, "not a cover");
+    }
+
+    #[test]
+    fn paper_mesh_16x22() {
+        let squares = decompose_pow2_squares(16, 22);
+        covers_exactly(&squares, 16, 22);
+        let mut by_side = std::collections::BTreeMap::new();
+        for s in &squares {
+            *by_side.entry(s.width()).or_insert(0u32) += 1;
+        }
+        assert_eq!(by_side.get(&16), Some(&1));
+        assert_eq!(by_side.get(&4), Some(&4));
+        assert_eq!(by_side.get(&2), Some(&8));
+        assert_eq!(by_side.len(), 3);
+    }
+
+    #[test]
+    fn power_of_two_square_is_single_block() {
+        let squares = decompose_pow2_squares(8, 8);
+        assert_eq!(squares.len(), 1);
+        assert_eq!(squares[0].size(), 64);
+    }
+
+    #[test]
+    fn odd_sizes_cover() {
+        for (w, l) in [(1u16, 1u16), (3, 5), (7, 7), (16, 22), (13, 1), (1, 9), (32, 24)] {
+            covers_exactly(&decompose_pow2_squares(w, l), w, l);
+        }
+    }
+
+    #[test]
+    fn squares_sorted_largest_first() {
+        let squares = decompose_pow2_squares(16, 22);
+        for pair in squares.windows(2) {
+            assert!(pair[0].size() >= pair[1].size());
+        }
+    }
+
+    #[test]
+    fn split_square_quadrants() {
+        let sq = SubMesh::from_base_size(Coord::new(4, 8), 4, 4);
+        let kids = split_square(&sq);
+        let mut seen = HashSet::new();
+        for k in &kids {
+            assert_eq!(k.size(), 4);
+            for c in k.iter() {
+                assert!(sq.contains(c));
+                assert!(seen.insert(c));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_unit_square_panics() {
+        split_square(&SubMesh::from_base_size(Coord::new(0, 0), 1, 1));
+    }
+
+    #[test]
+    fn base4_factorization() {
+        // p = 13 = 1 + 3*4 -> d0=1, d1=3
+        assert_eq!(base4_digits(13), vec![1, 3]);
+        // p = 4^3 = 64 -> d3 = 1
+        assert_eq!(base4_digits(64), vec![0, 0, 0, 1]);
+        // sum reconstructs p
+        for p in 1u32..500 {
+            let total: u32 = base4_digits(p)
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| d as u32 * 4u32.pow(i as u32))
+                .sum();
+            assert_eq!(total, p);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Processor coordinates and linear node identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A processor coordinate `(x, y)` in a `W × L` mesh, with
+/// `0 <= x < W` and `0 <= y < L` (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    pub x: u16,
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate. No bounds are enforced here; bounds are a
+    /// property of the mesh a coordinate is used with.
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other` — the number of hops an XY-routed
+    /// message travels between the two nodes in a mesh.
+    #[inline]
+    pub fn manhattan(&self, other: &Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+
+    /// Linear row-major id within a mesh of width `w`.
+    #[inline]
+    pub fn to_id(&self, w: u16) -> NodeId {
+        NodeId(self.y as u32 * w as u32 + self.x as u32)
+    }
+
+    /// Inverse of [`Coord::to_id`].
+    #[inline]
+    pub fn from_id(id: NodeId, w: u16) -> Self {
+        Coord {
+            x: (id.0 % w as u32) as u16,
+            y: (id.0 / w as u32) as u16,
+        }
+    }
+}
+
+impl core::fmt::Display for Coord {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Linear (row-major) identifier of a node within a particular mesh.
+///
+/// `NodeId` values are only meaningful relative to the mesh width used to
+/// produce them; they exist so that hot simulation loops can index flat
+/// arrays instead of hashing coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let w = 16;
+        for y in 0..22u16 {
+            for x in 0..w {
+                let c = Coord::new(x, y);
+                assert_eq!(Coord::from_id(c.to_id(w), w), c);
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_symmetric_and_zero_on_self() {
+        let a = Coord::new(3, 7);
+        let b = Coord::new(10, 2);
+        assert_eq!(a.manhattan(&b), b.manhattan(&a));
+        assert_eq!(a.manhattan(&b), 7 + 5);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn ids_are_row_major() {
+        let w = 4;
+        assert_eq!(Coord::new(0, 0).to_id(w).0, 0);
+        assert_eq!(Coord::new(3, 0).to_id(w).0, 3);
+        assert_eq!(Coord::new(0, 1).to_id(w).0, 4);
+        assert_eq!(Coord::new(3, 2).to_id(w).0, 11);
+    }
+}

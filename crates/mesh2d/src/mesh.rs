@@ -1,0 +1,308 @@
+//! The mesh occupancy grid.
+
+use crate::coord::{Coord, NodeId};
+use crate::submesh::SubMesh;
+
+/// A `W × L` 2D mesh occupancy grid.
+///
+/// Tracks which processors are allocated and maintains a free-processor
+/// count. This is the single source of truth allocation strategies mutate;
+/// the invariant that a strategy never double-allocates or double-frees a
+/// processor is enforced here with debug assertions and checked in tests.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    w: u16,
+    l: u16,
+    occupied: Vec<bool>,
+    free: u32,
+}
+
+impl Mesh {
+    /// Creates an empty (all-free) `w × l` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(w: u16, l: u16) -> Self {
+        assert!(w > 0 && l > 0, "mesh dimensions must be positive");
+        Mesh {
+            w,
+            l,
+            occupied: vec![false; w as usize * l as usize],
+            free: w as u32 * l as u32,
+        }
+    }
+
+    /// Mesh width `W` (x extent).
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.w
+    }
+
+    /// Mesh length `L` (y extent).
+    #[inline]
+    pub fn length(&self) -> u16 {
+        self.l
+    }
+
+    /// Total number of processors `W × L`.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.w as u32 * self.l as u32
+    }
+
+    /// Number of currently free processors.
+    #[inline]
+    pub fn free_count(&self) -> u32 {
+        self.free
+    }
+
+    /// Number of currently allocated processors.
+    #[inline]
+    pub fn used_count(&self) -> u32 {
+        self.size() - self.free
+    }
+
+    /// Fraction of processors currently allocated, in `[0, 1]`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.used_count() as f64 / self.size() as f64
+    }
+
+    /// Whether `c` is a valid coordinate of this mesh.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.w && c.y < self.l
+    }
+
+    /// Whether `s` lies entirely within this mesh.
+    #[inline]
+    pub fn contains_submesh(&self, s: &SubMesh) -> bool {
+        self.contains(s.base) && self.contains(s.end)
+    }
+
+    /// The sub-mesh covering the whole machine.
+    #[inline]
+    pub fn full_submesh(&self) -> SubMesh {
+        SubMesh::from_base_size(Coord::new(0, 0), self.w, self.l)
+    }
+
+    #[inline]
+    fn idx(&self, c: Coord) -> usize {
+        debug_assert!(self.contains(c), "coordinate {c} outside {}x{} mesh", self.w, self.l);
+        c.y as usize * self.w as usize + c.x as usize
+    }
+
+    /// Converts a coordinate to its linear node id.
+    #[inline]
+    pub fn node_id(&self, c: Coord) -> NodeId {
+        c.to_id(self.w)
+    }
+
+    /// Converts a linear node id back to a coordinate.
+    #[inline]
+    pub fn coord_of(&self, id: NodeId) -> Coord {
+        Coord::from_id(id, self.w)
+    }
+
+    /// Whether the processor at `c` is allocated.
+    #[inline]
+    pub fn is_occupied(&self, c: Coord) -> bool {
+        self.occupied[self.idx(c)]
+    }
+
+    /// Whether the processor at `c` is free.
+    #[inline]
+    pub fn is_free(&self, c: Coord) -> bool {
+        !self.is_occupied(c)
+    }
+
+    /// Marks a single processor allocated.
+    ///
+    /// # Panics
+    /// Panics (in all builds) if the processor is already allocated:
+    /// double allocation is always a strategy bug.
+    pub fn occupy(&mut self, c: Coord) {
+        let i = self.idx(c);
+        assert!(!self.occupied[i], "double allocation of {c}");
+        self.occupied[i] = true;
+        self.free -= 1;
+    }
+
+    /// Marks a single processor free.
+    ///
+    /// # Panics
+    /// Panics if the processor is already free.
+    pub fn release(&mut self, c: Coord) {
+        let i = self.idx(c);
+        assert!(self.occupied[i], "double free of {c}");
+        self.occupied[i] = false;
+        self.free += 1;
+    }
+
+    /// Whether every processor of `s` is free.
+    pub fn submesh_free(&self, s: &SubMesh) -> bool {
+        if !self.contains_submesh(s) {
+            return false;
+        }
+        s.iter().all(|c| self.is_free(c))
+    }
+
+    /// Whether every processor of `s` is allocated.
+    pub fn submesh_occupied(&self, s: &SubMesh) -> bool {
+        self.contains_submesh(s) && s.iter().all(|c| self.is_occupied(c))
+    }
+
+    /// Allocates every processor of `s`.
+    ///
+    /// # Panics
+    /// Panics if any processor of `s` is already allocated or out of bounds.
+    pub fn occupy_submesh(&mut self, s: &SubMesh) {
+        assert!(self.contains_submesh(s), "sub-mesh {s} outside mesh");
+        for c in s.iter() {
+            self.occupy(c);
+        }
+    }
+
+    /// Frees every processor of `s`.
+    ///
+    /// # Panics
+    /// Panics if any processor of `s` is already free or out of bounds.
+    pub fn release_submesh(&mut self, s: &SubMesh) {
+        assert!(self.contains_submesh(s), "sub-mesh {s} outside mesh");
+        for c in s.iter() {
+            self.release(c);
+        }
+    }
+
+    /// Iterates over the coordinates of all free processors in row-major
+    /// order.
+    pub fn iter_free(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.occupied.iter().enumerate().filter_map(move |(i, occ)| {
+            if *occ {
+                None
+            } else {
+                Some(Coord::from_id(NodeId(i as u32), self.w))
+            }
+        })
+    }
+
+    /// Iterates over the coordinates of all allocated processors in
+    /// row-major order.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.occupied.iter().enumerate().filter_map(move |(i, occ)| {
+            if *occ {
+                Some(Coord::from_id(NodeId(i as u32), self.w))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Raw row-major occupancy slice (row `y` at `[y*W .. (y+1)*W)`),
+    /// for O(1) scanning by the rectangle-search routines.
+    #[inline]
+    pub fn occupancy(&self) -> &[bool] {
+        &self.occupied
+    }
+
+    /// Frees every processor, returning the mesh to its initial state.
+    pub fn clear(&mut self) {
+        self.occupied.fill(false);
+        self.free = self.size();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_mesh_all_free() {
+        let m = Mesh::new(16, 22);
+        assert_eq!(m.size(), 352);
+        assert_eq!(m.free_count(), 352);
+        assert_eq!(m.used_count(), 0);
+        assert!(m.is_free(Coord::new(15, 21)));
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn occupy_release_submesh_bookkeeping() {
+        let mut m = Mesh::new(8, 8);
+        let s = SubMesh::from_base_size(Coord::new(2, 2), 3, 4);
+        m.occupy_submesh(&s);
+        assert_eq!(m.used_count(), 12);
+        assert!(m.submesh_occupied(&s));
+        assert!(!m.submesh_free(&s));
+        m.release_submesh(&s);
+        assert_eq!(m.used_count(), 0);
+        assert!(m.submesh_free(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "double allocation")]
+    fn double_occupy_panics() {
+        let mut m = Mesh::new(4, 4);
+        m.occupy(Coord::new(1, 1));
+        m.occupy(Coord::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_release_panics() {
+        let mut m = Mesh::new(4, 4);
+        m.release(Coord::new(1, 1));
+    }
+
+    #[test]
+    fn submesh_free_rejects_out_of_bounds() {
+        let m = Mesh::new(4, 4);
+        let s = SubMesh::from_base_size(Coord::new(3, 3), 2, 2);
+        assert!(!m.submesh_free(&s));
+    }
+
+    #[test]
+    fn paper_fig1_scenario() {
+        // Fig. 1: 4x4 mesh where a 2x2 contiguous request fails but 4 free
+        // processors exist. Reproduce the shape: occupy everything except
+        // 4 processors no two of which form a 2x2 square.
+        let mut m = Mesh::new(4, 4);
+        let free = [Coord::new(0, 0), Coord::new(3, 0), Coord::new(0, 3), Coord::new(3, 3)];
+        for y in 0..4 {
+            for x in 0..4 {
+                let c = Coord::new(x, y);
+                if !free.contains(&c) {
+                    m.occupy(c);
+                }
+            }
+        }
+        assert_eq!(m.free_count(), 4);
+        // no 2x2 free sub-mesh exists
+        for y in 0..3 {
+            for x in 0..3 {
+                let s = SubMesh::from_base_size(Coord::new(x, y), 2, 2);
+                assert!(!m.submesh_free(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn iterators_partition_mesh() {
+        let mut m = Mesh::new(5, 3);
+        m.occupy(Coord::new(0, 0));
+        m.occupy(Coord::new(4, 2));
+        let free: Vec<_> = m.iter_free().collect();
+        let used: Vec<_> = m.iter_occupied().collect();
+        assert_eq!(free.len() + used.len(), 15);
+        assert_eq!(used, vec![Coord::new(0, 0), Coord::new(4, 2)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = Mesh::new(4, 4);
+        m.occupy_submesh(&SubMesh::from_base_size(Coord::new(0, 0), 4, 4));
+        assert_eq!(m.free_count(), 0);
+        m.clear();
+        assert_eq!(m.free_count(), 16);
+    }
+}

@@ -1,0 +1,194 @@
+//! Inclusive rectangular sub-meshes (paper §2, Definitions 1–4).
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+
+/// A sub-mesh `S(w, l)` specified by the coordinates `(x, y, x', y')` of its
+/// base (lower-left) and end (upper-right) nodes, both inclusive.
+///
+/// Example from the paper: `(0, 0, 2, 1)` is the `3 × 2` sub-mesh whose base
+/// node is `(0, 0)` and end node is `(2, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubMesh {
+    /// Base (lower-left) corner.
+    pub base: Coord,
+    /// End (upper-right) corner, inclusive.
+    pub end: Coord,
+}
+
+impl SubMesh {
+    /// Creates a sub-mesh from base and end corners.
+    ///
+    /// # Panics
+    /// Panics if `end` is not at or above/right of `base`.
+    pub fn new(base: Coord, end: Coord) -> Self {
+        assert!(
+            end.x >= base.x && end.y >= base.y,
+            "invalid sub-mesh: base {base}, end {end}"
+        );
+        SubMesh { base, end }
+    }
+
+    /// Creates the `w × l` sub-mesh whose base corner is `base`.
+    ///
+    /// # Panics
+    /// Panics if `w` or `l` is zero.
+    pub fn from_base_size(base: Coord, w: u16, l: u16) -> Self {
+        assert!(w > 0 && l > 0, "sub-mesh sides must be positive ({w} x {l})");
+        SubMesh {
+            base,
+            end: Coord::new(base.x + w - 1, base.y + l - 1),
+        }
+    }
+
+    /// Width (extent along x).
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.end.x - self.base.x + 1
+    }
+
+    /// Length (extent along y).
+    #[inline]
+    pub fn length(&self) -> u16 {
+        self.end.y - self.base.y + 1
+    }
+
+    /// Number of processors in the sub-mesh (`w × l`).
+    #[inline]
+    pub fn size(&self) -> u32 {
+        self.width() as u32 * self.length() as u32
+    }
+
+    /// Whether `c` lies inside the sub-mesh.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x >= self.base.x && c.x <= self.end.x && c.y >= self.base.y && c.y <= self.end.y
+    }
+
+    /// Whether the two sub-meshes share at least one processor.
+    #[inline]
+    pub fn overlaps(&self, other: &SubMesh) -> bool {
+        self.base.x <= other.end.x
+            && other.base.x <= self.end.x
+            && self.base.y <= other.end.y
+            && other.base.y <= self.end.y
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_submesh(&self, other: &SubMesh) -> bool {
+        self.contains(other.base) && self.contains(other.end)
+    }
+
+    /// Iterates over all processor coordinates in row-major order
+    /// (x fastest).
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let (bx, ex) = (self.base.x, self.end.x);
+        (self.base.y..=self.end.y).flat_map(move |y| (bx..=ex).map(move |x| Coord::new(x, y)))
+    }
+
+    /// A sub-mesh is *suitable* for an `a × b` request if `w >= a` and
+    /// `l >= b` (paper Definition 4).
+    #[inline]
+    pub fn suitable_for(&self, a: u16, b: u16) -> bool {
+        self.width() >= a && self.length() >= b
+    }
+}
+
+impl core::fmt::Display for SubMesh {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "S({}, {}, {}, {})[{}x{}]",
+            self.base.x,
+            self.base.y,
+            self.end.x,
+            self.end.y,
+            self.width(),
+            self.length()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sm(x: u16, y: u16, x2: u16, y2: u16) -> SubMesh {
+        SubMesh::new(Coord::new(x, y), Coord::new(x2, y2))
+    }
+
+    #[test]
+    fn paper_example_dimensions() {
+        // (0, 0, 2, 1) is the 3x2 sub-mesh of Fig. 1.
+        let s = sm(0, 0, 2, 1);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.length(), 2);
+        assert_eq!(s.size(), 6);
+    }
+
+    #[test]
+    fn from_base_size_round_trips() {
+        let s = SubMesh::from_base_size(Coord::new(4, 5), 3, 7);
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.length(), 7);
+        assert_eq!(s.end, Coord::new(6, 11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_side_panics() {
+        let _ = SubMesh::from_base_size(Coord::new(0, 0), 0, 3);
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let s = sm(2, 3, 5, 6);
+        assert!(s.contains(Coord::new(2, 3)));
+        assert!(s.contains(Coord::new(5, 6)));
+        assert!(!s.contains(Coord::new(1, 3)));
+        assert!(!s.contains(Coord::new(6, 6)));
+        assert!(!s.contains(Coord::new(2, 7)));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = sm(0, 0, 3, 3);
+        assert!(a.overlaps(&sm(3, 3, 5, 5)), "corner touch overlaps");
+        assert!(a.overlaps(&sm(1, 1, 2, 2)), "containment overlaps");
+        assert!(!a.overlaps(&sm(4, 0, 5, 3)), "adjacent does not overlap");
+        assert!(!a.overlaps(&sm(0, 4, 3, 5)));
+        assert!(sm(1, 1, 2, 2).overlaps(&a), "overlap is symmetric");
+    }
+
+    #[test]
+    fn iter_covers_exactly_size() {
+        let s = sm(1, 2, 4, 3);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v.len() as u32, s.size());
+        assert_eq!(v[0], Coord::new(1, 2));
+        assert_eq!(*v.last().unwrap(), Coord::new(4, 3));
+        // all distinct
+        let mut u = v.clone();
+        u.sort();
+        u.dedup();
+        assert_eq!(u.len(), v.len());
+    }
+
+    #[test]
+    fn suitability() {
+        let s = sm(0, 0, 3, 5); // 4 x 6
+        assert!(s.suitable_for(4, 6));
+        assert!(s.suitable_for(1, 1));
+        assert!(!s.suitable_for(5, 1));
+        assert!(!s.suitable_for(1, 7));
+    }
+
+    #[test]
+    fn contains_submesh_cases() {
+        let outer = sm(0, 0, 9, 9);
+        assert!(outer.contains_submesh(&sm(0, 0, 9, 9)));
+        assert!(outer.contains_submesh(&sm(3, 3, 5, 5)));
+        assert!(!outer.contains_submesh(&sm(5, 5, 10, 9)));
+    }
+}

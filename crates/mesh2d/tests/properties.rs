@@ -1,0 +1,153 @@
+//! Property-based tests for the geometric substrate.
+
+use mesh2d::{
+    decompose_pow2_squares, find_free_submesh, largest_free_rect, Coord, Mesh, OccupancySums,
+    PageGrid, PageIndexing, SubMesh,
+};
+use proptest::prelude::*;
+
+fn arb_mesh_dims() -> impl Strategy<Value = (u16, u16)> {
+    (1u16..24, 1u16..24)
+}
+
+/// A mesh plus a pseudo-random occupancy pattern.
+fn arb_occupied_mesh() -> impl Strategy<Value = Mesh> {
+    (arb_mesh_dims(), any::<u64>()).prop_map(|((w, l), seed)| {
+        let mut m = Mesh::new(w, l);
+        let mut s = seed | 1;
+        for y in 0..l {
+            for x in 0..w {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (s >> 60) & 1 == 1 {
+                    m.occupy(Coord::new(x, y));
+                }
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn occupy_release_restores_state(dims in arb_mesh_dims(), bx in 0u16..24, by in 0u16..24, w in 1u16..8, l in 1u16..8) {
+        let (mw, ml) = dims;
+        let mut m = Mesh::new(mw, ml);
+        // clamp the request into the mesh so every case is exercised
+        let w = w.min(mw);
+        let l = l.min(ml);
+        let bx = bx % (mw - w + 1);
+        let by = by % (ml - l + 1);
+        let s = SubMesh::from_base_size(Coord::new(bx, by), w, l);
+        let before = m.free_count();
+        m.occupy_submesh(&s);
+        prop_assert_eq!(m.free_count(), before - s.size());
+        m.release_submesh(&s);
+        prop_assert_eq!(m.free_count(), before);
+        prop_assert!(m.submesh_free(&s));
+    }
+
+    #[test]
+    fn prefix_sums_agree_with_scan(m in arb_occupied_mesh(), x0 in 0u16..24, y0 in 0u16..24, w in 1u16..8, l in 1u16..8) {
+        let w = w.min(m.width());
+        let l = l.min(m.length());
+        let x0 = x0 % (m.width() - w + 1);
+        let y0 = y0 % (m.length() - l + 1);
+        let s = SubMesh::from_base_size(Coord::new(x0, y0), w, l);
+        let sums = OccupancySums::new(&m);
+        let naive = s.iter().filter(|&c| m.is_occupied(c)).count() as u32;
+        prop_assert_eq!(sums.occupied_in(&s), naive);
+    }
+
+    #[test]
+    fn found_submesh_is_free_and_first(m in arb_occupied_mesh(), w in 1u16..8, l in 1u16..8) {
+        if let Some(s) = find_free_submesh(&m, w, l) {
+            prop_assert!(m.submesh_free(&s));
+            prop_assert_eq!((s.width(), s.length()), (w, l));
+            // no earlier base in row-major order also fits
+            'outer: for y in 0..=m.length().saturating_sub(l) {
+                for x in 0..=m.width().saturating_sub(w) {
+                    if (y, x) >= (s.base.y, s.base.x) { break 'outer; }
+                    let earlier = SubMesh::from_base_size(Coord::new(x, y), w, l);
+                    prop_assert!(!m.submesh_free(&earlier), "earlier fit at {}", earlier);
+                }
+            }
+        } else if w <= m.width() && l <= m.length() {
+            // verify absence by brute force
+            for y in 0..=(m.length() - l) {
+                for x in 0..=(m.width() - w) {
+                    let cand = SubMesh::from_base_size(Coord::new(x, y), w, l);
+                    prop_assert!(!m.submesh_free(&cand));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn largest_rect_is_free_maximal(m in arb_occupied_mesh(), cw in 1u16..10, cl in 1u16..10) {
+        match largest_free_rect(&m, cw, cl) {
+            Some(s) => {
+                prop_assert!(m.submesh_free(&s));
+                prop_assert!(s.width() <= cw && s.length() <= cl);
+                // brute-force maximality
+                let mut best = 0u32;
+                for y0 in 0..m.length() {
+                    for x0 in 0..m.width() {
+                        for h in 1..=cl.min(m.length() - y0) {
+                            for w in 1..=cw.min(m.width() - x0) {
+                                let cand = SubMesh::from_base_size(Coord::new(x0, y0), w, h);
+                                if m.submesh_free(&cand) {
+                                    best = best.max(cand.size());
+                                }
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(s.size(), best);
+            }
+            None => prop_assert_eq!(m.free_count(), 0),
+        }
+    }
+
+    #[test]
+    fn buddy_decomposition_tiles_exactly(dims in arb_mesh_dims()) {
+        let (w, l) = dims;
+        let squares = decompose_pow2_squares(w, l);
+        let total: u32 = squares.iter().map(|s| s.size()).sum();
+        prop_assert_eq!(total, w as u32 * l as u32);
+        let mut cover = vec![false; w as usize * l as usize];
+        for s in &squares {
+            prop_assert!(s.width() == s.length() && s.width().is_power_of_two());
+            for c in s.iter() {
+                let i = c.y as usize * w as usize + c.x as usize;
+                prop_assert!(!cover[i], "overlap at {}", c);
+                cover[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn page_grids_tile_exactly(dims in arb_mesh_dims(), k in 0u8..3, scheme_i in 0usize..4) {
+        let (w, l) = dims;
+        let side = 1u16 << k;
+        prop_assume!(side <= w && side <= l);
+        let g = PageGrid::new(w, l, k, PageIndexing::ALL[scheme_i]);
+        let total: u32 = g.pages().iter().map(|p| p.size()).sum();
+        prop_assert_eq!(total, w as u32 * l as u32);
+        let mut cover = vec![false; w as usize * l as usize];
+        for p in g.pages() {
+            for c in p.iter() {
+                let i = c.y as usize * w as usize + c.x as usize;
+                prop_assert!(!cover[i]);
+                cover[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(ax in 0u16..32, ay in 0u16..32, bx in 0u16..32, by in 0u16..32, cx in 0u16..32, cy in 0u16..32) {
+        let a = Coord::new(ax, ay);
+        let b = Coord::new(bx, by);
+        let c = Coord::new(cx, cy);
+        prop_assert!(a.manhattan(&c) <= a.manhattan(&b) + b.manhattan(&c));
+    }
+}

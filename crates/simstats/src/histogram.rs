@@ -1,0 +1,166 @@
+//! Fixed-width histograms for distribution summaries (latency spread,
+//! job-size distributions in the workload validation tests).
+
+/// A histogram over `[lo, hi)` with equal-width buckets plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// # Panics
+    /// Panics unless `lo < hi` and `buckets >= 1`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi && buckets >= 1);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            self.buckets[i] += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile (bucket lower edge containing the q-quantile
+    /// of in-range samples).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let in_range: u64 = self.buckets.iter().sum();
+        if in_range == 0 {
+            return self.lo;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut acc = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            acc += b;
+            if acc >= target {
+                return self.lo + i as f64 * w;
+            }
+        }
+        self.hi
+    }
+
+    /// Renders a compact ASCII bar chart (for example binaries).
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut s = String::new();
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let bar = "#".repeat((b as usize * width).div_ceil(max as usize).min(width));
+            s.push_str(&format!(
+                "{:>10.1} | {:<width$} {}\n",
+                self.lo + i as f64 * w,
+                bar,
+                b,
+                width = width
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.9, 9.99] {
+            h.push(x);
+        }
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-5.0);
+        h.push(2.0);
+        h.push(1.0); // hi is exclusive
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn mean_tracks_all_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [1.0, 2.0, 3.0, 100.0] {
+            h.push(x);
+        }
+        assert!((h.mean() - 26.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        assert!((h.quantile(0.5) - 49.0).abs() <= 1.0);
+        assert!((h.quantile(0.9) - 89.0).abs() <= 1.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.6, 3.9] {
+            h.push(x);
+        }
+        let art = h.ascii(20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+}

@@ -1,0 +1,66 @@
+//! # simstats — output analysis for simulation experiments
+//!
+//! Implements the paper's output-analysis protocol (§5): "Each simulation
+//! run consists of 1000 completed jobs. Simulation results are averaged
+//! over enough independent runs so that the confidence level is 95% and
+//! the relative errors do not exceed 5%."
+//!
+//! * [`Welford`] — numerically stable online mean/variance,
+//! * [`student_t_95`] — two-sided 95 % Student-t critical values,
+//! * [`Replications`] — the run-until-precise controller,
+//! * [`TimeWeighted`] — time integrals for utilization,
+//! * [`Histogram`] — fixed-width distribution summaries.
+
+pub mod histogram;
+pub mod replication;
+pub mod timeweighted;
+pub mod welford;
+
+pub use histogram::Histogram;
+pub use replication::{Replications, StopReason};
+pub use timeweighted::TimeWeighted;
+pub use welford::Welford;
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table entries through df = 30, then the normal limit. This is
+/// the constant used to form the paper's 95 % confidence intervals.
+pub fn student_t_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_monotone_decreasing() {
+        let mut last = f64::INFINITY;
+        for df in 1..200 {
+            let t = student_t_95(df);
+            assert!(t <= last + 1e-9, "df {df}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn t_known_values() {
+        assert_eq!(student_t_95(1), 12.706);
+        assert_eq!(student_t_95(9), 2.262);
+        assert_eq!(student_t_95(30), 2.042);
+        assert_eq!(student_t_95(1000), 1.960);
+        assert!(student_t_95(0).is_infinite());
+    }
+}

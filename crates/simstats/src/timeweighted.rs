@@ -1,0 +1,113 @@
+//! Time-weighted averages (the paper's mean system utilization).
+
+use desim::Time;
+
+/// Integrates a piecewise-constant value over simulated time. Used for
+/// "the percentage of processors that are utilized over time" (paper §5):
+/// feed it the allocated-processor count at every change and read the
+/// time average.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    start: Time,
+    last_t: Time,
+    last_v: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `t0` with initial value `v0`.
+    pub fn new(t0: Time, v0: f64) -> Self {
+        TimeWeighted {
+            start: t0,
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the value changed to `v` at time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the previous update.
+    pub fn update(&mut self, t: Time, v: f64) {
+        assert!(t >= self.last_t, "time went backwards");
+        self.integral += self.last_v * (t - self.last_t) as f64;
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Time average over `[start, t]` (extends the last value to `t`).
+    pub fn average(&self, t: Time) -> f64 {
+        assert!(t >= self.last_t);
+        let total = (t - self.start) as f64;
+        if total == 0.0 {
+            return self.last_v;
+        }
+        (self.integral + self.last_v * (t - self.last_t) as f64) / total
+    }
+
+    /// Restarts the integral at `t` keeping the current value — used to
+    /// discard a warmup transient.
+    pub fn reset_at(&mut self, t: Time) {
+        assert!(t >= self.last_t);
+        self.start = t;
+        self.last_t = t;
+        self.integral = 0.0;
+    }
+
+    /// The current (last recorded) value.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_value() {
+        let w = TimeWeighted::new(0, 5.0);
+        assert_eq!(w.average(100), 5.0);
+    }
+
+    #[test]
+    fn step_function() {
+        let mut w = TimeWeighted::new(0, 0.0);
+        w.update(10, 100.0); // 0 for 10, then 100
+        assert_eq!(w.average(20), (0.0 * 10.0 + 100.0 * 10.0) / 20.0);
+        w.update(20, 50.0);
+        assert_eq!(w.average(40), (100.0 * 10.0 + 50.0 * 20.0) / 40.0);
+    }
+
+    #[test]
+    fn zero_span_returns_current() {
+        let w = TimeWeighted::new(7, 3.0);
+        assert_eq!(w.average(7), 3.0);
+    }
+
+    #[test]
+    fn warmup_reset() {
+        let mut w = TimeWeighted::new(0, 352.0); // warmup at full usage
+        w.update(50, 100.0);
+        w.reset_at(100); // discard everything before t=100
+        w.update(150, 200.0);
+        // from 100: 100.0 for 50 cycles, then 200.0 for 50 cycles
+        assert_eq!(w.average(200), 150.0);
+    }
+
+    #[test]
+    fn repeated_updates_same_time() {
+        let mut w = TimeWeighted::new(0, 1.0);
+        w.update(10, 2.0);
+        w.update(10, 3.0);
+        assert_eq!(w.average(20), (1.0 * 10.0 + 3.0 * 10.0) / 20.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backwards_time_panics() {
+        let mut w = TimeWeighted::new(10, 0.0);
+        w.update(5, 1.0);
+    }
+}

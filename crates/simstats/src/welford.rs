@@ -1,0 +1,217 @@
+//! Numerically stable online mean and variance (Welford's algorithm).
+
+/// Online accumulator for mean, variance and extrema.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            f64::INFINITY
+        } else {
+            crate::student_t_95(self.n as usize - 1) * self.std_err()
+        }
+    }
+
+    /// Relative error: CI half-width / |mean| (infinite for mean 0).
+    pub fn relative_error(&self) -> f64 {
+        let m = self.mean().abs();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci95_half_width() / m
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction; extrema included).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_naive_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.7 + 3.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let (m, v) = naive(&xs);
+        assert!((w.mean() - m).abs() < 1e-9);
+        assert!((w.variance() - v).abs() < 1e-6);
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        let mut w = Welford::new();
+        for i in 0..10_000 {
+            w.push(1e9 + (i % 7) as f64);
+        }
+        // variance of the pattern 0..6 uniformly repeated is 4
+        assert!((w.variance() - 4.0003).abs() < 0.01, "{}", w.variance());
+    }
+
+    #[test]
+    fn extrema() {
+        let mut w = Welford::new();
+        for x in [3.0, -1.0, 7.5, 2.0] {
+            w.push(x);
+        }
+        assert_eq!(w.min(), -1.0);
+        assert_eq!(w.max(), 7.5);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let mut w = Welford::new();
+        let mut prev = f64::INFINITY;
+        let mut seed = 5u64;
+        for i in 1..=10_000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            w.push(((seed >> 33) % 1000) as f64);
+            if i % 1000 == 0 {
+                let hw = w.ci95_half_width();
+                assert!(hw < prev);
+                prev = hw;
+            }
+        }
+        assert!(w.relative_error() < 0.05);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..200] {
+            a.push(x);
+        }
+        for &x in &xs[200..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.ci95_half_width().is_infinite());
+        let mut w1 = Welford::new();
+        w1.push(42.0);
+        assert_eq!(w1.mean(), 42.0);
+        assert_eq!(w1.variance(), 0.0);
+        assert!(w1.ci95_half_width().is_infinite());
+    }
+}

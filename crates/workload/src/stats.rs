@@ -1,0 +1,136 @@
+//! Trace summary statistics — the quantities the paper quotes when
+//! characterizing the SDSC workload (§5) and the quantities our synthetic
+//! models are validated against.
+
+use crate::TraceRecord;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    pub jobs: usize,
+    /// Mean inter-arrival time (seconds).
+    pub mean_interarrival_s: f64,
+    /// Coefficient of variation of inter-arrival gaps (1 = Poisson,
+    /// > 1 = bursty).
+    pub interarrival_cv: f64,
+    /// Mean job size (nodes).
+    pub mean_size: f64,
+    pub max_size: u32,
+    /// Fraction of jobs whose size is a power of two.
+    pub pow2_fraction: f64,
+    /// Mean runtime (seconds).
+    pub mean_runtime_s: f64,
+    /// Median runtime (seconds).
+    pub median_runtime_s: f64,
+}
+
+/// Computes summary statistics. Returns `None` for traces with fewer than
+/// two jobs (no inter-arrival gaps to characterize).
+pub fn summarize(records: &[TraceRecord]) -> Option<TraceSummary> {
+    if records.len() < 2 {
+        return None;
+    }
+    let n = records.len() as f64;
+    let gaps: Vec<f64> = records
+        .windows(2)
+        .map(|w| (w[1].submit_s - w[0].submit_s).max(0.0))
+        .collect();
+    let gap_mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let gap_var = gaps
+        .iter()
+        .map(|g| (g - gap_mean) * (g - gap_mean))
+        .sum::<f64>()
+        / gaps.len() as f64;
+    let cv = if gap_mean > 0.0 {
+        gap_var.sqrt() / gap_mean
+    } else {
+        0.0
+    };
+    let mean_size = records.iter().map(|r| r.size as f64).sum::<f64>() / n;
+    let pow2 = records.iter().filter(|r| r.size.is_power_of_two()).count() as f64 / n;
+    let mean_rt = records.iter().map(|r| r.runtime_s).sum::<f64>() / n;
+    let mut rts: Vec<f64> = records.iter().map(|r| r.runtime_s).collect();
+    rts.sort_by(f64::total_cmp);
+    Some(TraceSummary {
+        jobs: records.len(),
+        mean_interarrival_s: gap_mean,
+        interarrival_cv: cv,
+        mean_size,
+        max_size: records.iter().map(|r| r.size).max().unwrap_or(0),
+        pow2_fraction: pow2,
+        mean_runtime_s: mean_rt,
+        median_runtime_s: rts[rts.len() / 2],
+    })
+}
+
+impl core::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "jobs:                {}", self.jobs)?;
+        writeln!(f, "mean inter-arrival:  {:.1} s (CV {:.2})", self.mean_interarrival_s, self.interarrival_cv)?;
+        writeln!(f, "mean size:           {:.1} nodes (max {})", self.mean_size, self.max_size)?;
+        writeln!(f, "power-of-two sizes:  {:.1}%", self.pow2_fraction * 100.0)?;
+        write!(
+            f,
+            "runtime:             mean {:.0} s, median {:.0} s",
+            self.mean_runtime_s, self.median_runtime_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cm5Model, ParagonModel};
+    use desim::SimRng;
+
+    #[test]
+    fn too_short_traces_rejected() {
+        assert!(summarize(&[]).is_none());
+        assert!(summarize(&[TraceRecord {
+            submit_s: 0.0,
+            size: 1,
+            runtime_s: 1.0
+        }])
+        .is_none());
+    }
+
+    #[test]
+    fn hand_built_trace() {
+        let recs = vec![
+            TraceRecord { submit_s: 0.0, size: 4, runtime_s: 10.0 },
+            TraceRecord { submit_s: 100.0, size: 7, runtime_s: 30.0 },
+            TraceRecord { submit_s: 200.0, size: 8, runtime_s: 20.0 },
+        ];
+        let s = summarize(&recs).unwrap();
+        assert_eq!(s.jobs, 3);
+        assert!((s.mean_interarrival_s - 100.0).abs() < 1e-9);
+        assert!(s.interarrival_cv.abs() < 1e-9, "constant gaps -> CV 0");
+        assert!((s.mean_size - 19.0 / 3.0).abs() < 1e-9);
+        assert!((s.pow2_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max_size, 8);
+        assert_eq!(s.median_runtime_s, 20.0);
+    }
+
+    #[test]
+    fn paragon_vs_cm5_signatures() {
+        // the two models must differ exactly where the machines did:
+        // power-of-two fraction and arrival burstiness
+        let mut rng = SimRng::new(12);
+        let p = summarize(&ParagonModel::default().generate(&mut rng)).unwrap();
+        let c = summarize(&Cm5Model::default().generate(&mut rng)).unwrap();
+        assert!(p.pow2_fraction < 0.25, "Paragon {}", p.pow2_fraction);
+        assert!((c.pow2_fraction - 1.0).abs() < 1e-9, "CM-5 all pow2");
+        assert!(p.interarrival_cv > 1.3, "Paragon bursty");
+        assert!(c.interarrival_cv < 1.2, "CM-5 model Poissonian");
+        assert!(c.mean_size > p.mean_size, "CM-5 partitions larger");
+    }
+
+    #[test]
+    fn display_renders() {
+        let recs = ParagonModel { jobs: 100, ..Default::default() }
+            .generate(&mut SimRng::new(3));
+        let text = summarize(&recs).unwrap().to_string();
+        assert!(text.contains("mean size"));
+        assert!(text.contains("power-of-two"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's stochastic workload (§5).
+
+use crate::JobSpec;
+use desim::{SimRng, Time};
+
+/// Distribution of the request side lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideDist {
+    /// Width uniform over `[1, W]`, length uniform over `[1, L]`,
+    /// independently (Figs. 3, 6, 9, 12, 15).
+    Uniform,
+    /// Width and length exponentially distributed with means `W/2` and
+    /// `L/2`, clamped into `[1, W] × [1, L]` (Figs. 4, 7, 10, 13, 16).
+    Exponential,
+}
+
+impl core::fmt::Display for SideDist {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SideDist::Uniform => f.write_str("uniform"),
+            SideDist::Exponential => f.write_str("exponential"),
+        }
+    }
+}
+
+/// Generator for the stochastic workload.
+#[derive(Debug, Clone)]
+pub struct StochasticGen {
+    /// Mesh width `W`.
+    pub mesh_w: u16,
+    /// Mesh length `L`.
+    pub mesh_l: u16,
+    /// Side-length distribution.
+    pub sides: SideDist,
+    /// System load: jobs per time unit (the inverse of the mean
+    /// inter-arrival time). The paper's independent variable.
+    pub load: f64,
+    /// Mean of the per-processor message count (`num_mes`, 5 in the
+    /// paper).
+    pub num_mes_mean: f64,
+}
+
+impl StochasticGen {
+    /// Paper defaults on a 16×22 mesh at the given load.
+    pub fn paper(sides: SideDist, load: f64) -> Self {
+        StochasticGen {
+            mesh_w: 16,
+            mesh_l: 22,
+            sides,
+            load,
+            num_mes_mean: 5.0,
+        }
+    }
+
+    /// Draws the next job, advancing `*clock` by an exponential
+    /// inter-arrival time.
+    pub fn next_job(&self, id: u64, clock: &mut Time, rng: &mut SimRng) -> JobSpec {
+        *clock += rng.exp_interarrival(self.load);
+        let (a, b) = match self.sides {
+            SideDist::Uniform => (
+                rng.uniform_side(self.mesh_w),
+                rng.uniform_side(self.mesh_l),
+            ),
+            SideDist::Exponential => (
+                rng.exp_side(self.mesh_w as f64 / 2.0, self.mesh_w),
+                rng.exp_side(self.mesh_l as f64 / 2.0, self.mesh_l),
+            ),
+        };
+        let msgs = rng.exp_count(self.num_mes_mean);
+        JobSpec {
+            id,
+            arrive: *clock,
+            a,
+            b,
+            msgs_per_node: msgs,
+            service_demand: msgs as f64 * a as f64 * b as f64,
+        }
+    }
+
+    /// Generates `n` jobs starting at time 0.
+    pub fn generate(&self, n: usize, rng: &mut SimRng) -> Vec<JobSpec> {
+        let mut clock: Time = 0;
+        (0..n)
+            .map(|i| self.next_job(i as u64, &mut clock, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let g = StochasticGen::paper(SideDist::Uniform, 0.01);
+        let mut rng = SimRng::new(1);
+        let jobs = g.generate(1000, &mut rng);
+        for w in jobs.windows(2) {
+            assert!(w[1].arrive > w[0].arrive);
+        }
+    }
+
+    #[test]
+    fn load_controls_mean_interarrival() {
+        let mut rng = SimRng::new(2);
+        for load in [0.005, 0.02, 0.05] {
+            let g = StochasticGen::paper(SideDist::Uniform, load);
+            let jobs = g.generate(20_000, &mut rng);
+            let span = jobs.last().unwrap().arrive as f64;
+            let mean = span / jobs.len() as f64;
+            let expect = 1.0 / load;
+            assert!(
+                (mean - expect).abs() < expect * 0.05,
+                "load {load}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_sides_within_mesh_and_mean_half() {
+        let g = StochasticGen::paper(SideDist::Uniform, 0.01);
+        let mut rng = SimRng::new(3);
+        let jobs = g.generate(50_000, &mut rng);
+        let (mut sa, mut sb) = (0f64, 0f64);
+        for j in &jobs {
+            assert!((1..=16).contains(&j.a));
+            assert!((1..=22).contains(&j.b));
+            sa += j.a as f64;
+            sb += j.b as f64;
+        }
+        let (ma, mb) = (sa / jobs.len() as f64, sb / jobs.len() as f64);
+        assert!((ma - 8.5).abs() < 0.15, "mean width {ma}");
+        assert!((mb - 11.5).abs() < 0.2, "mean length {mb}");
+    }
+
+    #[test]
+    fn exponential_sides_skew_small() {
+        let g = StochasticGen::paper(SideDist::Exponential, 0.01);
+        let mut rng = SimRng::new(4);
+        let jobs = g.generate(50_000, &mut rng);
+        for j in &jobs {
+            assert!((1..=16).contains(&j.a));
+            assert!((1..=22).contains(&j.b));
+        }
+        // exponential with mean W/2 clamped: median well below the mean
+        let mut widths: Vec<u16> = jobs.iter().map(|j| j.a).collect();
+        widths.sort_unstable();
+        let median = widths[widths.len() / 2];
+        assert!(median <= 7, "median width {median} not skewed small");
+        // exponential sides produce smaller mean area than uniform sides
+        let mean_area_exp: f64 =
+            jobs.iter().map(|j| j.size() as f64).sum::<f64>() / jobs.len() as f64;
+        let gu = StochasticGen::paper(SideDist::Uniform, 0.01);
+        let jobs_u = gu.generate(50_000, &mut rng);
+        let mean_area_uni: f64 =
+            jobs_u.iter().map(|j| j.size() as f64).sum::<f64>() / jobs_u.len() as f64;
+        assert!(mean_area_exp < mean_area_uni);
+    }
+
+    #[test]
+    fn demand_is_msgs_times_area() {
+        let g = StochasticGen::paper(SideDist::Uniform, 0.01);
+        let mut rng = SimRng::new(5);
+        for j in g.generate(100, &mut rng) {
+            assert_eq!(
+                j.service_demand,
+                j.msgs_per_node as f64 * j.size() as f64
+            );
+            assert!(j.msgs_per_node >= 1);
+        }
+    }
+
+    #[test]
+    fn num_mes_mean_respected() {
+        let g = StochasticGen::paper(SideDist::Uniform, 0.01);
+        let mut rng = SimRng::new(6);
+        let jobs = g.generate(50_000, &mut rng);
+        let mean: f64 =
+            jobs.iter().map(|j| j.msgs_per_node as f64).sum::<f64>() / jobs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.3, "num_mes mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = StochasticGen::paper(SideDist::Exponential, 0.02);
+        let a = g.generate(50, &mut SimRng::new(9));
+        let b = g.generate(50, &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+}

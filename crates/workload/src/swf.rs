@@ -1,0 +1,131 @@
+//! Standard Workload Format (SWF) reader/writer.
+//!
+//! SWF is the Feitelson-archive format the original SDSC Paragon trace is
+//! distributed in: one job per line, 18 whitespace-separated fields,
+//! comment lines starting with `;`. We consume the fields the simulator
+//! needs — submit time (2), run time (4), allocated processors (5), with
+//! requested processors (8) as a fallback — and ignore the rest, so any
+//! archive trace loads unchanged.
+
+use crate::TraceRecord;
+
+/// Parses SWF text into trace records.
+///
+/// Jobs with unknown (negative) size or runtime and zero-size jobs are
+/// skipped, as is conventional when replaying archive traces. Returns an
+/// error string describing the first malformed non-comment line.
+pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 8 {
+            return Err(format!(
+                "line {}: expected >= 8 SWF fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let parse = |i: usize| -> Result<f64, String> {
+            fields[i]
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: field {}: {}", lineno + 1, i + 1, e))
+        };
+        let submit = parse(1)?;
+        let runtime = parse(3)?;
+        let mut size = parse(4)?;
+        if size <= 0.0 {
+            size = parse(7)?; // requested processors
+        }
+        if size <= 0.0 || runtime < 0.0 {
+            continue; // unknown/failed job
+        }
+        out.push(TraceRecord {
+            submit_s: submit,
+            size: size as u32,
+            runtime_s: runtime.max(1.0),
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes records as minimal SWF (unknown fields written as -1).
+pub fn write_swf(records: &[TraceRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 64);
+    s.push_str("; synthetic trace written by procsim workload crate\n");
+    s.push_str("; fields: id submit wait run procs cpu mem req_procs req_time req_mem status uid gid app queue part prev think\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "{} {:.0} -1 {:.0} {} -1 -1 {} -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+            i + 1,
+            r.submit_s,
+            r.runtime_s,
+            r.size,
+            r.size,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_swf() {
+        let text = "\
+; comment header
+1 0 5 100 32 -1 -1 32 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 50 0 200 -1 -1 -1 16 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+";
+        let recs = parse_swf(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].submit_s, 0.0);
+        assert_eq!(recs[0].runtime_s, 100.0);
+        assert_eq!(recs[0].size, 32);
+        // second job: allocated unknown, falls back to requested
+        assert_eq!(recs[1].size, 16);
+    }
+
+    #[test]
+    fn skips_unknown_jobs() {
+        let text = "1 0 5 -1 32 -1 -1 32\n2 10 0 100 -1 -1 -1 -1\n3 20 0 100 8 -1 -1 8\n";
+        let recs = parse_swf(text).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].size, 8);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_swf("1 2 3\n").is_err());
+        assert!(parse_swf("1 x 3 4 5 6 7 8\n").is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = vec![
+            TraceRecord {
+                submit_s: 0.0,
+                size: 35,
+                runtime_s: 120.0,
+            },
+            TraceRecord {
+                submit_s: 700.0,
+                size: 1,
+                runtime_s: 1.0,
+            },
+        ];
+        let text = write_swf(&recs);
+        let back = parse_swf(&text).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_and_comment_only_ok() {
+        assert!(parse_swf("").unwrap().is_empty());
+        assert!(parse_swf("; nothing\n\n;more\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,547 @@
+//! The cycle engine: injection, header arbitration, worm advancement.
+
+use crate::packet::{PacketId, PacketState};
+use crate::routing::route;
+use crate::topology::Topology;
+use desim::Time;
+use mesh2d::Coord;
+use std::collections::VecDeque;
+
+const FREE: u32 = u32::MAX;
+
+/// A delivered packet, reported once its tail flit is consumed by the
+/// destination PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller tag (job id).
+    pub tag: u64,
+    /// Cycle the last flit was ejected.
+    pub delivered_at: Time,
+    /// Network latency: delivery minus injection (excludes source queueing,
+    /// per the paper's metric definition).
+    pub latency: u64,
+    /// Cycles the header spent blocked waiting for busy channels.
+    pub blocked: u64,
+    /// Cycles spent waiting in the source PE's injection queue.
+    pub queue_delay: u64,
+    /// Router-to-router hops traversed.
+    pub hops: u32,
+}
+
+/// Aggregate counters over the life of the network (never reset by
+/// draining completions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetCounters {
+    pub delivered: u64,
+    pub total_latency: u64,
+    pub total_blocked: u64,
+    pub total_hops: u64,
+    pub cycles: u64,
+}
+
+/// The wormhole network simulator. See the crate docs for the model.
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    /// Router delay per node, the paper's `ts`.
+    ts: u32,
+    /// Channel owner table: packet slot or `FREE`.
+    owner: Vec<u32>,
+    /// Packet slab.
+    packets: Vec<Option<PacketState>>,
+    free_slots: Vec<u32>,
+    /// Slots of packets currently inside the network.
+    active: Vec<u32>,
+    /// Per-node injection FIFO (packet slots waiting to enter).
+    inject_q: Vec<VecDeque<u32>>,
+    /// Nodes with non-empty injection queues.
+    pending_nodes: Vec<u32>,
+    /// Completions not yet drained by the caller.
+    completed: Vec<Completion>,
+    counters: NetCounters,
+    /// Rotating arbitration offset for fairness.
+    rr: usize,
+    /// Per-physical-resource bandwidth stamp: the last cycle each
+    /// physical link/port carried a flit. Virtual channels of one link
+    /// share its bandwidth, so at most one worm crossing a physical link
+    /// may advance per cycle.
+    phys_stamp: Vec<u64>,
+    /// Current cycle stamp (monotone; independent of the caller's clock).
+    stamp: u64,
+}
+
+impl Network {
+    /// Creates an idle network over a `w × l` mesh (single virtual
+    /// channel — the paper's configuration) with per-node routing delay
+    /// `ts`.
+    pub fn new(w: u16, l: u16, ts: u32) -> Self {
+        Self::with_topology(Topology::new(w, l), ts)
+    }
+
+    /// Creates an idle network over an arbitrary topology (mesh or torus,
+    /// any VC count).
+    pub fn with_topology(topo: Topology, ts: u32) -> Self {
+        let nodes = topo.nodes() as usize;
+        let channels = topo.num_channels() as usize;
+        let phys = topo.num_physical() as usize;
+        Network {
+            topo,
+            ts,
+            owner: vec![FREE; channels],
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            active: Vec::new(),
+            inject_q: vec![VecDeque::new(); nodes],
+            pending_nodes: Vec::new(),
+            completed: Vec::new(),
+            counters: NetCounters::default(),
+            rr: 0,
+            phys_stamp: vec![0; phys],
+            stamp: 0,
+        }
+    }
+
+    /// The closed-form uncontended latency of this model: a header that
+    /// never blocks crosses `hops + 2` channels at `ts + 1` cycles per
+    /// acquisition after the first, then the body drains at one flit per
+    /// cycle.
+    pub fn uncontended_latency(hops: u32, plen: u32, ts: u32) -> u64 {
+        (hops as u64 + 1) * (ts as u64 + 1) + plen as u64
+    }
+
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Packets currently inside the network.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Packets waiting in source injection queues.
+    pub fn queued_count(&self) -> usize {
+        self.pending_nodes
+            .iter()
+            .map(|&n| self.inject_q[n as usize].len())
+            .sum()
+    }
+
+    /// True when no packet is in flight or queued.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.pending_nodes.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[inline]
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Hands a packet of `len_flits` flits to `src`'s injection queue at
+    /// time `now`. The route is fixed dimension-ordered (XY on mesh;
+    /// minimal with dateline VCs on torus). Returns the packet's slab slot.
+    pub fn send(&mut self, src: Coord, dst: Coord, len_flits: u32, tag: u64, now: Time) -> PacketId {
+        let path = route(&self.topo, src, dst);
+        let pkt = PacketState::new(path, len_flits, tag, now);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.packets[s as usize] = Some(pkt);
+                s
+            }
+            None => {
+                self.packets.push(Some(pkt));
+                (self.packets.len() - 1) as u32
+            }
+        };
+        let node = (src.y as u32 * self.topo.width() as u32 + src.x as u32) as usize;
+        if self.inject_q[node].is_empty() {
+            self.pending_nodes.push(node as u32);
+        }
+        self.inject_q[node].push_back(slot);
+        PacketId(slot)
+    }
+
+    /// Removes and returns all completions recorded so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Advances the network one cycle. `now` is the absolute time of the
+    /// cycle being simulated (used to stamp injection and delivery times).
+    pub fn step(&mut self, now: Time) {
+        self.counters.cycles += 1;
+        self.stamp += 1;
+
+        // --- movement phase -------------------------------------------------
+        // Iterate active packets starting from a rotating offset so no
+        // packet systematically wins channel arbitration.
+        let n = self.active.len();
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+            let mut i = 0;
+            let mut done_slots: Vec<usize> = Vec::new();
+            while i < n {
+                let idx = (self.rr + i) % n;
+                let slot = self.active[idx] as usize;
+                if self.advance_packet(slot, now) {
+                    done_slots.push(idx);
+                }
+                i += 1;
+            }
+            // remove completed packets (largest index first so swap_remove
+            // does not disturb smaller indices)
+            done_slots.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in done_slots {
+                let slot = self.active.swap_remove(idx);
+                self.packets[slot as usize] = None;
+                self.free_slots.push(slot);
+            }
+        }
+
+        // --- injection phase -------------------------------------------------
+        // A node's next queued packet enters iff its injection channel is
+        // free. Newly injected packets do not move until the next cycle.
+        let mut k = 0;
+        while k < self.pending_nodes.len() {
+            let node = self.pending_nodes[k] as usize;
+            let q = &mut self.inject_q[node];
+            debug_assert!(!q.is_empty());
+            let front = *q.front().unwrap() as usize;
+            let inj = self.packets[front].as_ref().unwrap().path[0];
+            if self.owner[inj.index()] == FREE {
+                q.pop_front();
+                let pkt = self.packets[front].as_mut().unwrap();
+                self.owner[inj.index()] = front as u32;
+                pkt.head = 0;
+                pkt.tail = 0;
+                pkt.injected = 1;
+                pkt.countdown = self.ts;
+                pkt.injected_at = now;
+                self.active.push(front as u32);
+                if q.is_empty() {
+                    self.pending_nodes.swap_remove(k);
+                    continue; // k now points at a different node
+                }
+            }
+            k += 1;
+        }
+    }
+
+    /// Checks and claims physical-link bandwidth for a worm shift whose
+    /// flits land in `path[land_from ..= land_to]`. Returns false (and
+    /// claims nothing) when any needed physical resource already carried
+    /// a flit this cycle — only possible when virtual channels share
+    /// links (torus / VC > 1); on the paper's 1-VC mesh each physical
+    /// resource has a single owner and this never fails.
+    fn claim_bandwidth(&mut self, slot: usize, land_from: usize, land_to: usize) -> bool {
+        let pkt = self.packets[slot].as_ref().unwrap();
+        for i in land_from..=land_to {
+            let phys = self.topo.physical_of(pkt.path[i]) as usize;
+            if self.phys_stamp[phys] == self.stamp {
+                return false;
+            }
+        }
+        let path: Vec<u32> = (land_from..=land_to)
+            .map(|i| self.topo.physical_of(self.packets[slot].as_ref().unwrap().path[i]))
+            .collect();
+        for phys in path {
+            self.phys_stamp[phys as usize] = self.stamp;
+        }
+        true
+    }
+
+    /// Advances one packet by one cycle. Returns true when the packet has
+    /// fully drained and its slot should be reclaimed.
+    fn advance_packet(&mut self, slot: usize, now: Time) -> bool {
+        let pkt = self.packets[slot].as_mut().unwrap();
+        #[cfg(debug_assertions)]
+        pkt.check_invariant();
+
+        if pkt.draining {
+            // One flit streams into the destination PE per cycle — if the
+            // physical links under the worm have bandwidth left this cycle.
+            let injecting = pkt.injected < pkt.len_flits;
+            let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
+            let land_to = pkt.path.len() - 1;
+            if land_from <= land_to && !self.claim_bandwidth(slot, land_from, land_to) {
+                let pkt = self.packets[slot].as_mut().unwrap();
+                pkt.blocked_cycles += 1;
+                return false;
+            }
+            let pkt = self.packets[slot].as_mut().unwrap();
+            pkt.ejected += 1;
+            if pkt.injected < pkt.len_flits {
+                // a fresh flit enters the inject channel in the same shift
+                pkt.injected += 1;
+            } else {
+                // tail flit moved forward: release the rearmost channel
+                self.owner[pkt.path[pkt.tail].index()] = FREE;
+                pkt.tail += 1;
+            }
+            if pkt.ejected == pkt.len_flits {
+                let c = Completion {
+                    tag: pkt.tag,
+                    delivered_at: now,
+                    latency: now - pkt.injected_at,
+                    blocked: pkt.blocked_cycles,
+                    queue_delay: pkt.injected_at - pkt.queued_at,
+                    hops: pkt.hops(),
+                };
+                self.counters.delivered += 1;
+                self.counters.total_latency += c.latency;
+                self.counters.total_blocked += c.blocked;
+                self.counters.total_hops += c.hops as u64;
+                self.completed.push(c);
+                return true;
+            }
+            return false;
+        }
+
+        // Header still carving the route.
+        if pkt.countdown > 0 {
+            pkt.countdown -= 1;
+            return false;
+        }
+        let next = pkt.head + 1;
+        let next_ch = pkt.path[next];
+        if self.owner[next_ch.index()] != FREE {
+            // wormhole blocking: hold every occupied channel and wait
+            pkt.blocked_cycles += 1;
+            return false;
+        }
+        // bandwidth: the shift lands flits in [tail(+1) ..= next]
+        let injecting = pkt.injected < pkt.len_flits;
+        let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
+        if !self.claim_bandwidth(slot, land_from, next) {
+            let pkt = self.packets[slot].as_mut().unwrap();
+            pkt.blocked_cycles += 1;
+            return false;
+        }
+        let pkt = self.packets[slot].as_mut().unwrap();
+        // acquire and shift the worm forward one slot
+        self.owner[next_ch.index()] = slot as u32;
+        pkt.head = next;
+        if pkt.injected < pkt.len_flits {
+            pkt.injected += 1; // new flit enters behind; tail stays
+        } else {
+            self.owner[pkt.path[pkt.tail].index()] = FREE;
+            pkt.tail += 1;
+        }
+        if next == pkt.path.len() - 1 {
+            pkt.draining = true; // header reached the ejection port
+        } else {
+            pkt.countdown = self.ts; // routing delay at the node just entered
+        }
+        false
+    }
+
+    /// Runs the network until idle, starting at `start`; returns the first
+    /// idle cycle. Intended for tests and standalone experiments — the full
+    /// simulator interleaves `step` with job-level events instead.
+    pub fn run_until_idle(&mut self, start: Time) -> Time {
+        let mut t = start;
+        while !self.is_idle() {
+            self.step(t);
+            t += 1;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLEN: u32 = 8;
+    const TS: u32 = 3;
+
+    fn net(w: u16, l: u16) -> Network {
+        Network::new(w, l, TS)
+    }
+
+    #[test]
+    fn single_packet_uncontended_latency() {
+        for (src, dst) in [
+            (Coord::new(0, 0), Coord::new(5, 0)),
+            (Coord::new(0, 0), Coord::new(0, 7)),
+            (Coord::new(2, 3), Coord::new(6, 9)),
+            (Coord::new(4, 4), Coord::new(4, 4)),
+        ] {
+            let mut n = net(16, 22);
+            n.send(src, dst, PLEN, 1, 0);
+            n.run_until_idle(0);
+            let c = n.drain_completions();
+            assert_eq!(c.len(), 1);
+            let hops = src.manhattan(&dst);
+            assert_eq!(
+                c[0].latency,
+                Network::uncontended_latency(hops, PLEN, TS),
+                "{src} -> {dst}"
+            );
+            assert_eq!(c[0].blocked, 0);
+            assert_eq!(c[0].hops, hops);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut lat = Vec::new();
+        for d in [1u16, 4, 8, 12] {
+            let mut n = net(16, 22);
+            n.send(Coord::new(0, 0), Coord::new(d, 0), PLEN, 0, 0);
+            n.run_until_idle(0);
+            lat.push(n.drain_completions()[0].latency);
+        }
+        assert!(lat.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn disjoint_packets_do_not_interact() {
+        let mut n = net(16, 22);
+        n.send(Coord::new(0, 0), Coord::new(5, 0), PLEN, 0, 0);
+        n.send(Coord::new(0, 5), Coord::new(5, 5), PLEN, 1, 0);
+        n.run_until_idle(0);
+        for c in n.drain_completions() {
+            assert_eq!(c.latency, Network::uncontended_latency(5, PLEN, TS));
+            assert_eq!(c.blocked, 0);
+        }
+    }
+
+    #[test]
+    fn same_source_serializes_through_injection() {
+        // Two packets from one node: the second waits in the source queue
+        // until the first's tail clears the injection channel, and its
+        // queue_delay (not its latency) reflects that wait.
+        let mut n = net(16, 22);
+        n.send(Coord::new(0, 0), Coord::new(8, 0), PLEN, 0, 0);
+        n.send(Coord::new(0, 0), Coord::new(8, 0), PLEN, 1, 0);
+        n.run_until_idle(0);
+        let cs = n.drain_completions();
+        assert_eq!(cs.len(), 2);
+        let first = cs.iter().find(|c| c.tag == 0).unwrap();
+        let second = cs.iter().find(|c| c.tag == 1).unwrap();
+        assert_eq!(first.queue_delay, 0);
+        assert!(second.queue_delay > 0, "second must queue at the source");
+        assert!(second.delivered_at > first.delivered_at);
+    }
+
+    #[test]
+    fn head_on_contention_blocks_exactly_one_packet() {
+        // Two packets cross the same link in the same direction; one blocks.
+        let mut n = net(16, 22);
+        n.send(Coord::new(0, 0), Coord::new(6, 0), PLEN, 0, 0);
+        n.send(Coord::new(1, 0), Coord::new(6, 0), PLEN, 1, 0);
+        n.run_until_idle(0);
+        let cs = n.drain_completions();
+        let blocked: Vec<_> = cs.iter().filter(|c| c.blocked > 0).collect();
+        assert_eq!(blocked.len(), 1, "exactly one of the two packets blocks: {cs:?}");
+    }
+
+    #[test]
+    fn ejection_contention_serializes_delivery() {
+        // Many packets to one destination: ejection channel is the
+        // bottleneck; all must still be delivered (no deadlock).
+        let mut n = net(8, 8);
+        for i in 0..8u16 {
+            if i != 4 {
+                n.send(Coord::new(i, 0), Coord::new(4, 4), PLEN, i as u64, 0);
+            }
+        }
+        let end = n.run_until_idle(0);
+        let cs = n.drain_completions();
+        assert_eq!(cs.len(), 7);
+        assert!(cs.iter().any(|c| c.blocked > 0), "hotspot must cause blocking");
+        assert!(end > 0);
+    }
+
+    #[test]
+    fn all_to_all_delivers_everything() {
+        // 4x4 sub-population all-to-all: heavy contention, conservation of
+        // packets, no deadlock (XY routing).
+        let mut n = net(16, 22);
+        let nodes: Vec<Coord> = (0..4u16)
+            .flat_map(|y| (0..4u16).map(move |x| Coord::new(x, y)))
+            .collect();
+        let mut sent = 0u64;
+        for (i, &s) in nodes.iter().enumerate() {
+            for (j, &d) in nodes.iter().enumerate() {
+                if i != j {
+                    n.send(s, d, PLEN, (i * 16 + j) as u64, 0);
+                    sent += 1;
+                }
+            }
+        }
+        n.run_until_idle(0);
+        let cs = n.drain_completions();
+        assert_eq!(cs.len() as u64, sent);
+        assert_eq!(n.counters().delivered, sent);
+        assert!(n.is_idle());
+        // all channels released
+        assert!(n.owner.iter().all(|&o| o == FREE));
+    }
+
+    #[test]
+    fn contended_latency_exceeds_uncontended() {
+        let mut quiet = net(16, 22);
+        quiet.send(Coord::new(0, 0), Coord::new(7, 0), PLEN, 0, 0);
+        quiet.run_until_idle(0);
+        let base = quiet.drain_completions()[0].latency;
+
+        let mut busy = net(16, 22);
+        // cross traffic along the same row
+        for y in 0..1u16 {
+            for x in 0..6u16 {
+                busy.send(Coord::new(x, y), Coord::new(7, y), PLEN, 99, 0);
+            }
+        }
+        busy.send(Coord::new(0, 0), Coord::new(7, 0), PLEN, 0, 0);
+        busy.run_until_idle(0);
+        let cs = busy.drain_completions();
+        let mine = cs.iter().find(|c| c.tag == 0).unwrap();
+        assert!(
+            mine.latency >= base,
+            "contended {} < uncontended {base}",
+            mine.latency
+        );
+        assert!(cs.iter().map(|c| c.blocked).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut n = net(8, 8);
+        n.send(Coord::new(0, 0), Coord::new(3, 3), PLEN, 0, 0);
+        n.run_until_idle(0);
+        n.send(Coord::new(1, 1), Coord::new(2, 2), PLEN, 1, 100);
+        let mut t = 100;
+        while !n.is_idle() {
+            n.step(t);
+            t += 1;
+        }
+        let c = n.counters();
+        assert_eq!(c.delivered, 2);
+        assert!(c.total_latency > 0);
+        assert_eq!(c.total_hops, 6 + 2);
+    }
+
+    #[test]
+    fn single_flit_packets_work() {
+        let mut n = net(8, 8);
+        n.send(Coord::new(0, 0), Coord::new(4, 0), 1, 0, 0);
+        n.run_until_idle(0);
+        let c = n.drain_completions();
+        assert_eq!(c[0].latency, Network::uncontended_latency(4, 1, TS));
+    }
+
+    #[test]
+    fn is_idle_transitions() {
+        let mut n = net(4, 4);
+        assert!(n.is_idle());
+        n.send(Coord::new(0, 0), Coord::new(1, 0), PLEN, 0, 0);
+        assert!(!n.is_idle());
+        n.run_until_idle(0);
+        assert!(n.is_idle());
+    }
+}

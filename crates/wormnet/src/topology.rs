@@ -1,0 +1,343 @@
+//! Channel naming for W × L mesh and torus networks.
+//!
+//! Every node owns four outgoing link directions (East/West/North/South),
+//! one injection channel (PE → router) and one ejection channel
+//! (router → PE). Bidirectional links are modelled as the two opposing
+//! unidirectional channels, as in the paper's "bidirectional communication
+//! links" (§2).
+//!
+//! Each link direction carries `vcs` **virtual channels**. The paper's
+//! configuration is a mesh with a single virtual channel; the torus
+//! extension (the paper's §6 future work) needs two, because
+//! dimension-ordered routing across wraparound links is only deadlock-free
+//! with a dateline VC switch.
+
+use mesh2d::Coord;
+
+/// Network shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// No wraparound links (the paper's target system).
+    Mesh,
+    /// Wraparound links in both dimensions; requires >= 2 virtual
+    /// channels for deadlock-free dimension-ordered routing.
+    Torus,
+}
+
+/// Outgoing link direction from a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// +x
+    East,
+    /// -x
+    West,
+    /// +y
+    North,
+    /// -y
+    South,
+}
+
+impl Direction {
+    const COUNT: u32 = 4;
+
+    #[inline]
+    fn index(self) -> u32 {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::North => 2,
+            Direction::South => 3,
+        }
+    }
+}
+
+/// Dense identifier of one *virtual* channel (a physical link direction ×
+/// VC index, or an injection/ejection port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Mesh/torus shape plus channel-id arithmetic.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    w: u16,
+    l: u16,
+    kind: TopologyKind,
+    vcs: u32,
+    per_node: u32,
+}
+
+impl Topology {
+    /// A `w × l` mesh with a single virtual channel per link — the
+    /// paper's network.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions.
+    pub fn new(w: u16, l: u16) -> Self {
+        Self::with_kind(w, l, TopologyKind::Mesh, 1)
+    }
+
+    /// A `w × l` torus with two virtual channels (dateline routing).
+    ///
+    /// # Panics
+    /// Panics on zero dimensions or on degenerate 1-wide rings.
+    pub fn new_torus(w: u16, l: u16) -> Self {
+        Self::with_kind(w, l, TopologyKind::Torus, 2)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions, zero VCs, or a torus with fewer than
+    /// two virtual channels (which would deadlock).
+    pub fn with_kind(w: u16, l: u16, kind: TopologyKind, vcs: u32) -> Self {
+        assert!(w > 0 && l > 0, "degenerate network");
+        assert!(vcs >= 1, "at least one virtual channel");
+        if kind == TopologyKind::Torus {
+            assert!(vcs >= 2, "torus DOR needs >= 2 virtual channels");
+        }
+        Topology {
+            w,
+            l,
+            kind,
+            vcs,
+            per_node: Direction::COUNT * vcs + 2,
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.w
+    }
+
+    #[inline]
+    pub fn length(&self) -> u16 {
+        self.l
+    }
+
+    #[inline]
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Virtual channels per link direction.
+    #[inline]
+    pub fn vcs(&self) -> u32 {
+        self.vcs
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> u32 {
+        self.w as u32 * self.l as u32
+    }
+
+    /// Total virtual-channel count (including injection/ejection ports).
+    #[inline]
+    pub fn num_channels(&self) -> u32 {
+        self.nodes() * self.per_node
+    }
+
+    #[inline]
+    fn node_index(&self, c: Coord) -> u32 {
+        debug_assert!(c.x < self.w && c.y < self.l, "{c} outside network");
+        c.y as u32 * self.w as u32 + c.x as u32
+    }
+
+    /// Whether a link in direction `d` exists at `node` (always true on a
+    /// torus; false at mesh edges).
+    #[inline]
+    pub fn has_link(&self, node: Coord, d: Direction) -> bool {
+        match self.kind {
+            TopologyKind::Torus => true,
+            TopologyKind::Mesh => match d {
+                Direction::East => node.x + 1 < self.w,
+                Direction::West => node.x > 0,
+                Direction::North => node.y + 1 < self.l,
+                Direction::South => node.y > 0,
+            },
+        }
+    }
+
+    /// The neighbour reached from `node` via `d` (wrapping on a torus).
+    #[inline]
+    pub fn neighbour(&self, node: Coord, d: Direction) -> Coord {
+        debug_assert!(self.has_link(node, d));
+        let (w, l) = (self.w, self.l);
+        match d {
+            Direction::East => Coord::new(if node.x + 1 == w { 0 } else { node.x + 1 }, node.y),
+            Direction::West => Coord::new(if node.x == 0 { w - 1 } else { node.x - 1 }, node.y),
+            Direction::North => Coord::new(node.x, if node.y + 1 == l { 0 } else { node.y + 1 }),
+            Direction::South => Coord::new(node.x, if node.y == 0 { l - 1 } else { node.y - 1 }),
+        }
+    }
+
+    /// Whether the `d` link at `node` is a wraparound (dateline) link.
+    #[inline]
+    pub fn is_wrap_link(&self, node: Coord, d: Direction) -> bool {
+        self.kind == TopologyKind::Torus
+            && match d {
+                Direction::East => node.x + 1 == self.w,
+                Direction::West => node.x == 0,
+                Direction::North => node.y + 1 == self.l,
+                Direction::South => node.y == 0,
+            }
+    }
+
+    /// The outgoing link channel of `node` in direction `d`, virtual
+    /// channel `vc`.
+    ///
+    /// # Panics
+    /// Debug-panics if the link does not exist (mesh edge) or `vc` is out
+    /// of range.
+    #[inline]
+    pub fn link_vc(&self, node: Coord, d: Direction, vc: u32) -> ChannelId {
+        debug_assert!(self.has_link(node, d), "link {d:?} from {node} does not exist");
+        debug_assert!(vc < self.vcs, "vc {vc} out of range");
+        ChannelId(self.node_index(node) * self.per_node + d.index() * self.vcs + vc)
+    }
+
+    /// The outgoing link channel of `node` in direction `d` on VC 0
+    /// (the only VC of the paper's mesh).
+    #[inline]
+    pub fn link(&self, node: Coord, d: Direction) -> ChannelId {
+        self.link_vc(node, d, 0)
+    }
+
+    /// The injection (PE → router) channel of `node`.
+    #[inline]
+    pub fn inject(&self, node: Coord) -> ChannelId {
+        ChannelId(self.node_index(node) * self.per_node + Direction::COUNT * self.vcs)
+    }
+
+    /// The ejection (router → PE) channel of `node`.
+    #[inline]
+    pub fn eject(&self, node: Coord) -> ChannelId {
+        ChannelId(self.node_index(node) * self.per_node + Direction::COUNT * self.vcs + 1)
+    }
+
+    /// Maps a virtual channel to its physical resource: link VCs of the
+    /// same (node, direction) share one physical link's bandwidth;
+    /// injection/ejection ports are their own resources. Used by the
+    /// network engine's per-cycle bandwidth arbitration.
+    #[inline]
+    pub fn physical_of(&self, ch: ChannelId) -> u32 {
+        let node = ch.0 / self.per_node;
+        let slot = ch.0 % self.per_node;
+        let link_slots = Direction::COUNT * self.vcs;
+        let phys_slot = if slot < link_slots {
+            slot / self.vcs // collapse VCs onto the physical direction
+        } else {
+            Direction::COUNT + (slot - link_slots) // inject, eject
+        };
+        node * (Direction::COUNT + 2) + phys_slot
+    }
+
+    /// Number of physical resources (links + ports).
+    #[inline]
+    pub fn num_physical(&self) -> u32 {
+        self.nodes() * (Direction::COUNT + 2)
+    }
+
+    /// Shortest-path hop count between two nodes under this topology.
+    #[inline]
+    pub fn distance(&self, a: Coord, b: Coord) -> u32 {
+        match self.kind {
+            TopologyKind::Mesh => a.manhattan(&b),
+            TopologyKind::Torus => {
+                let dx = (a.x as i32 - b.x as i32).unsigned_abs();
+                let dy = (a.y as i32 - b.y as i32).unsigned_abs();
+                dx.min(self.w as u32 - dx) + dy.min(self.l as u32 - dy)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_ids_are_unique_and_dense() {
+        let t = Topology::new(4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..3u16 {
+            for x in 0..4u16 {
+                let n = Coord::new(x, y);
+                for d in [Direction::East, Direction::West, Direction::North, Direction::South] {
+                    if t.has_link(n, d) {
+                        assert!(seen.insert(t.link(n, d)));
+                    }
+                }
+                assert!(seen.insert(t.inject(n)));
+                assert!(seen.insert(t.eject(n)));
+            }
+        }
+        assert!(seen.iter().all(|c| c.0 < t.num_channels()));
+    }
+
+    #[test]
+    fn counts() {
+        let t = Topology::new(16, 22);
+        assert_eq!(t.nodes(), 352);
+        assert_eq!(t.num_channels(), 352 * 6);
+        let tt = Topology::new_torus(16, 22);
+        assert_eq!(tt.num_channels(), 352 * 10); // 4 dirs x 2 VCs + 2 ports
+        assert_eq!(tt.num_physical(), 352 * 6);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic]
+    fn edge_link_panics_on_mesh() {
+        let t = Topology::new(4, 4);
+        let _ = t.link(Coord::new(3, 0), Direction::East);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Topology::new_torus(4, 4);
+        assert!(t.has_link(Coord::new(3, 0), Direction::East));
+        assert_eq!(t.neighbour(Coord::new(3, 0), Direction::East), Coord::new(0, 0));
+        assert_eq!(t.neighbour(Coord::new(0, 2), Direction::West), Coord::new(3, 2));
+        assert_eq!(t.neighbour(Coord::new(1, 3), Direction::North), Coord::new(1, 0));
+        assert_eq!(t.neighbour(Coord::new(1, 0), Direction::South), Coord::new(1, 3));
+        assert!(t.is_wrap_link(Coord::new(3, 0), Direction::East));
+        assert!(!t.is_wrap_link(Coord::new(2, 0), Direction::East));
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound() {
+        let t = Topology::new_torus(16, 22);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(15, 0)), 1);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(0, 21)), 1);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(8, 11)), 8 + 11);
+        let m = Topology::new(16, 22);
+        assert_eq!(m.distance(Coord::new(0, 0), Coord::new(15, 0)), 15);
+    }
+
+    #[test]
+    fn vcs_share_physical_links() {
+        let t = Topology::new_torus(4, 4);
+        let n = Coord::new(1, 1);
+        let a = t.link_vc(n, Direction::East, 0);
+        let b = t.link_vc(n, Direction::East, 1);
+        assert_ne!(a, b);
+        assert_eq!(t.physical_of(a), t.physical_of(b));
+        let c = t.link_vc(n, Direction::West, 0);
+        assert_ne!(t.physical_of(a), t.physical_of(c));
+        assert_ne!(t.physical_of(t.inject(n)), t.physical_of(t.eject(n)));
+    }
+
+    #[test]
+    #[should_panic(expected = "torus DOR needs")]
+    fn torus_with_one_vc_rejected() {
+        let _ = Topology::with_kind(4, 4, TopologyKind::Torus, 1);
+    }
+}

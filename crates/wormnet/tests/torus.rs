@@ -1,0 +1,123 @@
+//! Torus extension tests: wraparound routing, dateline deadlock freedom,
+//! virtual-channel bandwidth sharing.
+
+use desim::SimRng;
+use mesh2d::Coord;
+use proptest::prelude::*;
+use wormnet::{pattern_messages, Network, Pattern, Topology};
+
+const TS: u32 = 3;
+const PLEN: u32 = 8;
+
+#[test]
+fn torus_shortcut_reduces_latency() {
+    // corner-to-corner: 36 hops on the mesh, 2 on the torus
+    let (s, d) = (Coord::new(0, 0), Coord::new(15, 21));
+    let mut mesh = Network::new(16, 22, TS);
+    mesh.send(s, d, PLEN, 0, 0);
+    mesh.run_until_idle(0);
+    let mesh_lat = mesh.drain_completions()[0].latency;
+
+    let mut torus = Network::with_topology(Topology::new_torus(16, 22), TS);
+    torus.send(s, d, PLEN, 0, 0);
+    torus.run_until_idle(0);
+    let torus_lat = torus.drain_completions()[0].latency;
+
+    assert_eq!(mesh_lat, Network::uncontended_latency(36, PLEN, TS));
+    assert_eq!(torus_lat, Network::uncontended_latency(2, PLEN, TS));
+}
+
+#[test]
+fn torus_all_to_all_delivers_everything() {
+    // all-to-all across a region spanning both datelines: conservation
+    // and deadlock freedom under the dateline VC discipline
+    let mut net = Network::with_topology(Topology::new_torus(8, 8), TS);
+    let nodes: Vec<Coord> = (0..8u16).map(|i| Coord::new(i, i % 8)).collect();
+    let mut rng = SimRng::new(3);
+    let msgs = pattern_messages(Pattern::AllToAll, &nodes, 7, &mut rng);
+    for (i, (s, d)) in msgs.iter().enumerate() {
+        net.send(*s, *d, PLEN, i as u64, 0);
+    }
+    let mut t = 0;
+    while !net.is_idle() {
+        net.step(t);
+        t += 1;
+        assert!(t < 200_000, "torus wedged");
+    }
+    assert_eq!(net.drain_completions().len(), msgs.len());
+}
+
+#[test]
+fn ring_traffic_around_the_wrap_makes_progress() {
+    // every node of a ring sends to its neighbour the "long way" being
+    // impossible: minimal routing always exits; hammer the x wrap links
+    let mut net = Network::with_topology(Topology::new_torus(8, 1), TS);
+    for x in 0..8u16 {
+        // distance 3 east for everyone: heavy intra-ring pressure
+        let dst = Coord::new((x + 3) % 8, 0);
+        net.send(Coord::new(x, 0), dst, PLEN, x as u64, 0);
+    }
+    let mut t = 0;
+    while !net.is_idle() {
+        net.step(t);
+        t += 1;
+        assert!(t < 100_000, "ring deadlocked");
+    }
+    assert_eq!(net.drain_completions().len(), 8);
+}
+
+#[test]
+fn vcs_let_two_worms_share_a_link() {
+    // two packets in the same direction on the same physical ring links
+    // but different VCs (one crosses the dateline upstream): both must
+    // complete, and bandwidth sharing must slow at least one down
+    let topo = Topology::new_torus(8, 1);
+    let mut net = Network::with_topology(topo, TS);
+    // packet A: 6 -> 2 eastwards crosses wrap at x=7 (vc1 after wrap)
+    net.send(Coord::new(6, 0), Coord::new(2, 0), PLEN, 0, 0);
+    // packet B: 0 -> 3 eastwards on vc0 over links A also uses
+    net.send(Coord::new(0, 0), Coord::new(3, 0), PLEN, 1, 0);
+    net.run_until_idle(0);
+    let cs = net.drain_completions();
+    assert_eq!(cs.len(), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deadlock-freedom and conservation on the torus for arbitrary
+    /// traffic (the property the dateline discipline must guarantee).
+    #[test]
+    fn torus_conservation(msgs in proptest::collection::vec(
+        ((0u16..16, 0u16..22), (0u16..16, 0u16..22)), 1..100)) {
+        let mut net = Network::with_topology(Topology::new_torus(16, 22), TS);
+        for (i, ((sx, sy), (dx, dy))) in msgs.iter().enumerate() {
+            net.send(Coord::new(*sx, *sy), Coord::new(*dx, *dy), PLEN, i as u64, 0);
+        }
+        let mut t = 0u64;
+        while !net.is_idle() {
+            net.step(t);
+            t += 1;
+            prop_assert!(t < 1_000_000, "torus wedged after {} cycles", t);
+        }
+        let cs = net.drain_completions();
+        prop_assert_eq!(cs.len(), msgs.len());
+        for c in &cs {
+            let floor = Network::uncontended_latency(c.hops, PLEN, TS);
+            prop_assert!(c.latency >= floor);
+        }
+    }
+
+    /// Torus latency never exceeds mesh latency for isolated packets.
+    #[test]
+    fn torus_no_worse_than_mesh(sx in 0u16..16, sy in 0u16..22, dx in 0u16..16, dy in 0u16..22) {
+        let run = |net: &mut Network| {
+            net.send(Coord::new(sx, sy), Coord::new(dx, dy), PLEN, 0, 0);
+            net.run_until_idle(0);
+            net.drain_completions()[0].latency
+        };
+        let m = run(&mut Network::new(16, 22, TS));
+        let t = run(&mut Network::with_topology(Topology::new_torus(16, 22), TS));
+        prop_assert!(t <= m, "torus {} > mesh {}", t, m);
+    }
+}

@@ -1,0 +1,72 @@
+//! Trace replay: generate a synthetic SDSC-Paragon-like trace, write it
+//! to SWF, read it back, and replay it through the simulator under two
+//! strategies — the full "real workload" pipeline of the paper, and the
+//! template for replaying a genuine archive trace (drop your `.swf` file
+//! in and pass it as the first argument).
+//!
+//! ```text
+//! cargo run --release --example trace_replay [trace.swf]
+//! ```
+
+use procsim::{
+    parse_swf, trace_to_jobs, write_swf, ParagonModel, SchedulerKind, SimConfig, SimRng,
+    Simulator, StrategyKind, TraceRecord, WorkloadSpec,
+};
+use std::sync::Arc;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let records: Vec<TraceRecord> = match &arg {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("cannot read trace file");
+            parse_swf(&text).expect("malformed SWF")
+        }
+        None => {
+            // synthesize, round-trip through SWF to exercise the parser
+            let model = ParagonModel {
+                jobs: 3000,
+                ..ParagonModel::default()
+            };
+            let recs = model.generate(&mut SimRng::new(2008));
+            let swf = write_swf(&recs);
+            parse_swf(&swf).expect("round trip")
+        }
+    };
+    println!(
+        "trace: {} jobs, mean size {:.1} nodes, mean inter-arrival {:.1}s",
+        records.len(),
+        records.iter().map(|r| r.size as f64).sum::<f64>() / records.len() as f64,
+        records.last().unwrap().submit_s / records.len() as f64
+    );
+
+    // compress arrivals 2x (the paper's f < 1; stays below the
+    // saturation knee so single-run turnarounds are meaningful) and map
+    // runtimes to communication volume
+    let jobs = trace_to_jobs(&records, 16, 22, 0.5, 360.0);
+    let jobs = Arc::new(jobs);
+
+    println!("\nreplaying under FCFS:");
+    println!(
+        "{:<12} {:>12} {:>10} {:>8} {:>10}",
+        "strategy", "turnaround", "service", "util", "latency"
+    );
+    for strat in StrategyKind::PAPER {
+        let mut cfg = SimConfig::paper(
+            strat,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::FixedTrace(jobs.clone()),
+            1,
+        );
+        cfg.warmup_jobs = 100;
+        cfg.measured_jobs = 800;
+        let m = Simulator::new(&cfg, 0).run();
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>8.3} {:>10.1}",
+            strat.to_string(),
+            m.mean_turnaround,
+            m.mean_service,
+            m.utilization,
+            m.mean_packet_latency
+        );
+    }
+}

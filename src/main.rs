@@ -1,0 +1,217 @@
+//! `procsim` CLI — run a single configuration, a load sweep, or a trace
+//! replay from the command line.
+//!
+//! ```text
+//! procsim run   [--strategy gabl|paging0|mbs|ff|bf|random|mc]
+//!               [--scheduler fcfs|ssd|sjf|ljf|easy]
+//!               [--workload uniform|exponential|paragon|cm5]
+//!               [--load 0.0008] [--jobs 400] [--seed 42]
+//!               [--torus] [--reps N]
+//! procsim sweep [same flags] --loads 0.0002,0.0004,0.0008
+//! procsim trace <file.swf> [--factor 0.25] [--scale 360]
+//! ```
+
+use procsim::{
+    parse_swf, run_point, summarize, trace_to_jobs, Cm5Model, PageIndexing, ParagonModel,
+    SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind, TopologyKind, WorkloadSpec,
+};
+use std::sync::Arc;
+
+struct Args {
+    map: std::collections::HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut map = std::collections::HashMap::new();
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                map.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Args {
+        map,
+        flags,
+        positional,
+    }
+}
+
+fn strategy_of(name: &str) -> StrategyKind {
+    match name {
+        "gabl" => StrategyKind::Gabl,
+        "paging0" => StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        "paging1" => StrategyKind::Paging {
+            size_index: 1,
+            indexing: PageIndexing::RowMajor,
+        },
+        "mbs" => StrategyKind::Mbs,
+        "ff" => StrategyKind::FirstFit,
+        "bf" => StrategyKind::BestFit,
+        "random" => StrategyKind::Random,
+        "mc" => StrategyKind::Mc,
+        other => die(&format!("unknown strategy '{other}'")),
+    }
+}
+
+fn scheduler_of(name: &str) -> SchedulerKind {
+    match name {
+        "fcfs" => SchedulerKind::Fcfs,
+        "ssd" => SchedulerKind::Ssd,
+        "sjf" => SchedulerKind::SjfArea,
+        "ljf" => SchedulerKind::LjfArea,
+        "easy" => SchedulerKind::EasyBackfill,
+        other => die(&format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `procsim help` for usage");
+    std::process::exit(2)
+}
+
+fn workload_of(name: &str, load: f64) -> WorkloadSpec {
+    match name {
+        "uniform" => WorkloadSpec::Stochastic {
+            sides: SideDist::Uniform,
+            load,
+            num_mes: 5.0,
+        },
+        "exponential" => WorkloadSpec::Stochastic {
+            sides: SideDist::Exponential,
+            load,
+            num_mes: 5.0,
+        },
+        "paragon" => WorkloadSpec::SyntheticTrace {
+            model: ParagonModel::default(),
+            load,
+            runtime_scale: 360.0,
+        },
+        "cm5" => {
+            let recs = Cm5Model::default().generate(&mut SimRng::new(7));
+            let f = procsim::factor_for_load(1186.7, load);
+            WorkloadSpec::FixedTrace(Arc::new(trace_to_jobs(&recs, 16, 22, f, 360.0)))
+        }
+        other => die(&format!("unknown workload '{other}'")),
+    }
+}
+
+fn config_from(a: &Args, load: f64) -> SimConfig {
+    let strategy = strategy_of(a.map.get("strategy").map(|s| s.as_str()).unwrap_or("gabl"));
+    let scheduler = scheduler_of(a.map.get("scheduler").map(|s| s.as_str()).unwrap_or("fcfs"));
+    let workload = workload_of(a.map.get("workload").map(|s| s.as_str()).unwrap_or("uniform"), load);
+    let seed: u64 = a.map.get("seed").map(|s| s.parse().expect("bad --seed")).unwrap_or(42);
+    let mut cfg = SimConfig::paper(strategy, scheduler, workload, seed);
+    if a.flags.iter().any(|f| f == "torus") {
+        cfg.topology = TopologyKind::Torus;
+    }
+    let jobs: usize = a.map.get("jobs").map(|s| s.parse().expect("bad --jobs")).unwrap_or(400);
+    cfg.measured_jobs = jobs;
+    cfg.warmup_jobs = (jobs / 4).max(10);
+    cfg
+}
+
+fn print_point(cfg: &SimConfig, reps: usize) {
+    let p = run_point(cfg, reps.max(2), reps.max(2) * 2);
+    println!(
+        "{:<18} load {:<9.5} turnaround {:>10.1} ±{:>7.1}  service {:>8.1}  util {:>5.3}  latency {:>7.1}  blocking {:>7.1}  [{} reps]",
+        p.label,
+        p.load,
+        p.turnaround(),
+        p.ci95[0],
+        p.service(),
+        p.utilization(),
+        p.latency(),
+        p.blocking(),
+        p.replications
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(|s| s.as_str()).unwrap_or("help");
+    let a = parse_args(&argv[1.min(argv.len())..]);
+    let reps: usize = a.map.get("reps").map(|s| s.parse().expect("bad --reps")).unwrap_or(3);
+
+    match cmd {
+        "run" => {
+            let load: f64 = a
+                .map
+                .get("load")
+                .map(|s| s.parse().expect("bad --load"))
+                .unwrap_or(0.0008);
+            let cfg = config_from(&a, load);
+            print_point(&cfg, reps);
+        }
+        "sweep" => {
+            let loads: Vec<f64> = a
+                .map
+                .get("loads")
+                .expect("sweep needs --loads a,b,c")
+                .split(',')
+                .map(|s| s.trim().parse().expect("bad load value"))
+                .collect();
+            for load in loads {
+                let cfg = config_from(&a, load);
+                print_point(&cfg, reps);
+            }
+        }
+        "trace" => {
+            let path = a
+                .positional
+                .first()
+                .unwrap_or_else(|| die("trace needs a .swf file path"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let recs = parse_swf(&text).unwrap_or_else(|e| die(&e));
+            match summarize(&recs) {
+                Some(s) => println!("{s}\n"),
+                None => die("trace too short"),
+            }
+            let factor: f64 = a.map.get("factor").map(|s| s.parse().expect("bad --factor")).unwrap_or(1.0);
+            let scale: f64 = a.map.get("scale").map(|s| s.parse().expect("bad --scale")).unwrap_or(360.0);
+            let jobs = Arc::new(trace_to_jobs(&recs, 16, 22, factor, scale));
+            for strategy in StrategyKind::PAPER {
+                let mut cfg = SimConfig::paper(
+                    strategy,
+                    SchedulerKind::Fcfs,
+                    WorkloadSpec::FixedTrace(jobs.clone()),
+                    42,
+                );
+                cfg.measured_jobs = 400.min(jobs.len().saturating_sub(100)).max(50);
+                cfg.warmup_jobs = (cfg.measured_jobs / 4).max(10);
+                print_point(&cfg, reps);
+            }
+        }
+        _ => {
+            println!("procsim — 2D mesh processor allocation & scheduling simulator");
+            println!("(IPDPS 2008 reproduction; see README.md)\n");
+            println!("usage:");
+            println!("  procsim run   [--strategy S] [--scheduler P] [--workload W] [--load L]");
+            println!("                [--jobs N] [--seed K] [--reps R] [--torus]");
+            println!("  procsim sweep --loads a,b,c [same flags]");
+            println!("  procsim trace <file.swf> [--factor F] [--scale S]");
+            println!();
+            println!("strategies: gabl paging0 paging1 mbs ff bf random mc");
+            println!("schedulers: fcfs ssd sjf ljf easy");
+            println!("workloads:  uniform exponential paragon cm5");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests of the beyond-paper extensions: torus topology
+//! (paper §6 future work), the MC allocation baseline (paper ref. [7]),
+//! the CM-5-style trace (future work), and EASY backfilling.
+
+use procsim::{
+    PageIndexing, SchedulerKind, SideDist, SimConfig, Simulator, StrategyKind, TopologyKind,
+    WorkloadSpec,
+};
+
+fn stochastic(load: f64) -> WorkloadSpec {
+    WorkloadSpec::Stochastic {
+        sides: SideDist::Uniform,
+        load,
+        num_mes: 5.0,
+    }
+}
+
+fn quick(strategy: StrategyKind, scheduler: SchedulerKind, wl: WorkloadSpec) -> SimConfig {
+    let mut cfg = SimConfig::paper(strategy, scheduler, wl, 31415);
+    cfg.warmup_jobs = 20;
+    cfg.measured_jobs = 120;
+    cfg
+}
+
+#[test]
+fn torus_reduces_packet_latency() {
+    // wraparound halves long distances; at equal load the torus must show
+    // lower mean packet latency for scattered traffic
+    let mut mesh_cfg = quick(StrategyKind::Random, SchedulerKind::Fcfs, stochastic(0.0006));
+    let mut torus_cfg = mesh_cfg.clone();
+    mesh_cfg.topology = TopologyKind::Mesh;
+    torus_cfg.topology = TopologyKind::Torus;
+    let m = Simulator::new(&mesh_cfg, 0).run();
+    let t = Simulator::new(&torus_cfg, 0).run();
+    assert!(
+        t.mean_packet_latency < m.mean_packet_latency,
+        "torus {} vs mesh {}",
+        t.mean_packet_latency,
+        m.mean_packet_latency
+    );
+    assert_eq!(t.jobs, 120);
+}
+
+#[test]
+fn torus_full_simulation_for_paper_strategies() {
+    for strat in StrategyKind::PAPER {
+        let mut cfg = quick(strat, SchedulerKind::Ssd, stochastic(0.0008));
+        cfg.topology = TopologyKind::Torus;
+        let m = Simulator::new(&cfg, 1).run();
+        assert_eq!(m.jobs, 120, "{strat}");
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        assert!(m.mean_packet_latency > 0.0);
+    }
+}
+
+#[test]
+fn mc_runs_end_to_end_with_tight_clusters() {
+    let mc = Simulator::new(&quick(StrategyKind::Mc, SchedulerKind::Fcfs, stochastic(0.0006)), 2)
+        .run();
+    let rnd = Simulator::new(
+        &quick(StrategyKind::Random, SchedulerKind::Fcfs, stochastic(0.0006)),
+        2,
+    )
+    .run();
+    assert_eq!(mc.jobs, 120);
+    // MC's clustering must beat random scatter on latency
+    assert!(
+        mc.mean_packet_latency < rnd.mean_packet_latency,
+        "MC {} vs Random {}",
+        mc.mean_packet_latency,
+        rnd.mean_packet_latency
+    );
+}
+
+#[test]
+fn easy_backfill_beats_fcfs_under_blocked_heads() {
+    // uniform workload has frequent huge jobs that block FCFS; EASY should
+    // cut waiting time without starving the head
+    let f = Simulator::new(&quick(StrategyKind::Gabl, SchedulerKind::Fcfs, stochastic(0.0012)), 3)
+        .run();
+    let e = Simulator::new(
+        &quick(StrategyKind::Gabl, SchedulerKind::EasyBackfill, stochastic(0.0012)),
+        3,
+    )
+    .run();
+    assert!(
+        e.mean_wait < f.mean_wait,
+        "EASY wait {} vs FCFS wait {}",
+        e.mean_wait,
+        f.mean_wait
+    );
+}
+
+#[test]
+fn cm5_trace_collapses_mbs_fragments() {
+    use procsim::{trace_to_jobs, Cm5Model, SimRng};
+    use std::sync::Arc;
+    let recs = Cm5Model {
+        jobs: 600,
+        ..Default::default()
+    }
+    .generate(&mut SimRng::new(1));
+    let jobs = Arc::new(trace_to_jobs(&recs, 16, 22, 0.05, 360.0));
+    let run = |strategy| {
+        let mut cfg = SimConfig::paper(
+            strategy,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::FixedTrace(jobs.clone()),
+            4,
+        );
+        cfg.warmup_jobs = 20;
+        cfg.measured_jobs = 150;
+        Simulator::new(&cfg, 0).run()
+    };
+    let mbs = run(StrategyKind::Mbs);
+    let paging = run(StrategyKind::Paging {
+        size_index: 0,
+        indexing: PageIndexing::RowMajor,
+    });
+    // power-of-two sizes: MBS allocations are a handful of buddy blocks
+    // (1 for 4^n sizes, 2 for 2*4^n, plus splits under contention), far
+    // fewer fragments than per-processor paging
+    assert!(mbs.mean_fragments <= 4.5, "MBS fragments {}", mbs.mean_fragments);
+    assert!(paging.mean_fragments > 10.0);
+}

@@ -1,0 +1,90 @@
+//! Property tests over the integrated simulator: invariants that must
+//! hold for any strategy, scheduler, workload and seed.
+
+use procsim::{
+    PageIndexing, SchedulerKind, SideDist, SimConfig, Simulator, StrategyKind, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn strategies() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Mbs,
+        StrategyKind::Random,
+    ]
+}
+
+fn schedulers() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Fcfs,
+        SchedulerKind::Ssd,
+        SchedulerKind::SjfArea,
+        SchedulerKind::FcfsWindow(4),
+    ]
+}
+
+proptest! {
+    // each case is a full (small) simulation; keep the counts modest
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulation_invariants(
+        strat_i in 0usize..4,
+        sched_i in 0usize..4,
+        seed in 0u64..1000,
+        load_scale in 1u32..40,
+        uniform in any::<bool>(),
+    ) {
+        let load = load_scale as f64 * 1e-4;
+        let mut cfg = SimConfig::paper(
+            strategies()[strat_i],
+            schedulers()[sched_i],
+            WorkloadSpec::Stochastic {
+                sides: if uniform { SideDist::Uniform } else { SideDist::Exponential },
+                load,
+                num_mes: 5.0,
+            },
+            seed,
+        );
+        cfg.warmup_jobs = 5;
+        cfg.measured_jobs = 40;
+        let m = Simulator::new(&cfg, 0).run();
+
+        prop_assert_eq!(m.jobs, 40);
+        prop_assert!(m.mean_turnaround >= m.mean_service,
+            "turnaround {} < service {}", m.mean_turnaround, m.mean_service);
+        prop_assert!((m.mean_turnaround - (m.mean_service + m.mean_wait)).abs() < 1e-6);
+        prop_assert!(m.utilization >= 0.0 && m.utilization <= 1.0,
+            "utilization {}", m.utilization);
+        prop_assert!(m.mean_service > 0.0);
+        prop_assert!(m.mean_fragments >= 1.0);
+        if m.packets > 0 {
+            // latency >= blocking + minimal transfer
+            prop_assert!(m.mean_packet_latency > m.mean_packet_blocking);
+            // floor: shortest possible packet (0 hops) takes (ts+1)+Plen
+            prop_assert!(m.mean_packet_latency >= (cfg.ts as f64 + 1.0) + cfg.plen as f64);
+        }
+        prop_assert!(m.end_time > 0);
+    }
+
+    #[test]
+    fn seed_determinism(strat_i in 0usize..4, seed in 0u64..50) {
+        let mut cfg = SimConfig::paper(
+            strategies()[strat_i],
+            SchedulerKind::Fcfs,
+            WorkloadSpec::Stochastic { sides: SideDist::Uniform, load: 0.001, num_mes: 5.0 },
+            seed,
+        );
+        cfg.warmup_jobs = 5;
+        cfg.measured_jobs = 30;
+        let a = Simulator::new(&cfg, 0).run();
+        let b = Simulator::new(&cfg, 0).run();
+        prop_assert_eq!(a.mean_turnaround, b.mean_turnaround);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.packets, b.packets);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration of the workload pipeline: SWF text -> records -> jobs ->
+//! simulation, plus statistical validation of the synthetic trace at the
+//! paper's published moments.
+
+use procsim::{
+    parse_swf, trace_to_jobs, write_swf, ParagonModel, SchedulerKind, SimConfig, SimRng,
+    Simulator, StrategyKind, WorkloadSpec,
+};
+use std::sync::Arc;
+
+#[test]
+fn swf_round_trip_preserves_simulation() {
+    let model = ParagonModel {
+        jobs: 600,
+        ..ParagonModel::default()
+    };
+    let recs = model.generate(&mut SimRng::new(33));
+    let text = write_swf(&recs);
+    let parsed = parse_swf(&text).unwrap();
+    assert_eq!(parsed.len(), recs.len());
+
+    let direct = trace_to_jobs(&recs, 16, 22, 0.5, 360.0);
+    let via_swf = trace_to_jobs(&parsed, 16, 22, 0.5, 360.0);
+    // submit seconds are written rounded; compare sizes and msgs exactly
+    for (a, b) in direct.iter().zip(&via_swf) {
+        assert_eq!((a.a, a.b), (b.a, b.b));
+        assert_eq!(a.msgs_per_node, b.msgs_per_node);
+    }
+
+    let mut cfg = SimConfig::paper(
+        StrategyKind::Gabl,
+        SchedulerKind::Fcfs,
+        WorkloadSpec::FixedTrace(Arc::new(via_swf)),
+        9,
+    );
+    cfg.warmup_jobs = 20;
+    cfg.measured_jobs = 150;
+    let m = Simulator::new(&cfg, 0).run();
+    assert_eq!(m.jobs, 150);
+    assert!(m.mean_service > 0.0);
+}
+
+#[test]
+fn synthetic_trace_matches_published_statistics() {
+    // paper §5: 10658 jobs, mean inter-arrival 1186.7 s, mean size 34.5,
+    // sizes favouring non-powers-of-two
+    let recs = ParagonModel::default().generate(&mut SimRng::new(1));
+    assert_eq!(recs.len(), 10_658);
+    let n = recs.len() as f64;
+    let mean_ia = recs.last().unwrap().submit_s / n;
+    assert!((mean_ia - 1186.7).abs() / 1186.7 < 0.06, "mean ia {mean_ia}");
+    let mean_size = recs.iter().map(|r| r.size as f64).sum::<f64>() / n;
+    assert!((mean_size - 34.5).abs() < 6.0, "mean size {mean_size}");
+    let pow2 = recs.iter().filter(|r| r.size.is_power_of_two()).count() as f64 / n;
+    assert!(pow2 < 0.25, "{:.0}% power-of-two sizes", pow2 * 100.0);
+}
+
+#[test]
+fn arrival_scaling_factor_increases_load() {
+    // f < 1 compresses arrivals -> higher load -> strictly worse
+    // turnaround for the same strategy and seed
+    let model = ParagonModel {
+        jobs: 800,
+        ..ParagonModel::default()
+    };
+    let recs = model.generate(&mut SimRng::new(55));
+    let run = |f: f64| {
+        let jobs = Arc::new(trace_to_jobs(&recs, 16, 22, f, 360.0));
+        let mut cfg = SimConfig::paper(
+            StrategyKind::Gabl,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::FixedTrace(jobs),
+            10,
+        );
+        cfg.warmup_jobs = 20;
+        cfg.measured_jobs = 200;
+        Simulator::new(&cfg, 0).run()
+    };
+    let native = run(1.0);
+    let compressed = run(0.05);
+    assert!(
+        compressed.mean_turnaround > native.mean_turnaround,
+        "f=0.05 {} vs f=1 {}",
+        compressed.mean_turnaround,
+        native.mean_turnaround
+    );
+    assert!(compressed.utilization > native.utilization);
+}
+
+#[test]
+fn non_power_of_two_sizes_penalize_mbs_fragments() {
+    // the paper's explanation for MBS's trace behaviour: non-power-of-two
+    // requests decompose into several blocks. Compare mean fragment count
+    // for p=64 (one 8x8 block) vs p=63 (3x 1 + 3x 4 + 3x16 blocks...).
+    use procsim::{AllocationStrategy, Mesh};
+    let mesh0 = Mesh::new(16, 22);
+    let mut mbs = StrategyKind::Mbs.build(&mesh0, 0);
+    let mut mesh = Mesh::new(16, 22);
+    let a64 = mbs.allocate(&mut mesh, 8, 8).unwrap();
+    assert_eq!(a64.fragments(), 1);
+    mbs.release(&mut mesh, a64);
+    let a63 = mbs.allocate(&mut mesh, 9, 7).unwrap(); // 63 processors
+    assert!(
+        a63.fragments() >= 6,
+        "63 = 3 + 3*4 + 3*16 needs >= 9 blocks in a pow2 forest, got {}",
+        a63.fragments()
+    );
+}
