@@ -110,7 +110,7 @@ impl BestFit {
                     continue;
                 }
                 let score = Self::boundary_freeness(mesh, sums, &s);
-                if best.map_or(true, |(bs, _)| score < bs) {
+                if best.is_none_or(|(bs, _)| score < bs) {
                     best = Some((score, s));
                 }
             }

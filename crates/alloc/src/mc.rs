@@ -80,7 +80,7 @@ impl AllocationStrategy for Mc {
             if cells.len() as u32 != p {
                 continue;
             }
-            if best.as_ref().map_or(true, |(br, _)| r < *br) {
+            if best.as_ref().is_none_or(|(br, _)| r < *br) {
                 let done = r == 0;
                 best = Some((r, cells));
                 if done {

@@ -9,7 +9,7 @@
 //!    Paging(k>0) internal fragmentation excepted).
 
 use mesh2d::{Mesh, PageIndexing};
-use mesh_alloc::{AllocationStrategy, StrategyKind};
+use mesh_alloc::StrategyKind;
 use proptest::prelude::*;
 
 fn kinds() -> Vec<StrategyKind> {

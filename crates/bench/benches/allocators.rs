@@ -8,7 +8,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use desim::SimRng;
 use mesh2d::{largest_free_rect, Coord, Mesh};
-use mesh_alloc::{AllocationStrategy, PageIndexing, StrategyKind};
+use mesh_alloc::{PageIndexing, StrategyKind};
 
 /// Steady-state churn: keep ~60 % of the mesh allocated, measure one
 /// allocate+release pair per iteration.

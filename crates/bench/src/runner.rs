@@ -115,9 +115,9 @@ pub fn run_figure(spec: &'static FigureSpec, mode: RunMode, seed: u64) -> Figure
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mx = std::sync::Mutex::new(&mut results);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= combos.len() {
                     break;
@@ -131,8 +131,7 @@ pub fn run_figure(spec: &'static FigureSpec, mode: RunMode, seed: u64) -> Figure
                 results_mx.lock().unwrap()[slot] = Some(point);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     FigureData {
         spec,

@@ -148,14 +148,14 @@ pub fn largest_free_rect_near(
             }
             let mut min_h = usize::MAX;
             let max_x1 = (x0 + cap_w).min(w);
-            for x1 in x0..max_x1 {
-                if heights[x1] == 0 {
+            for (x1, &h1) in heights.iter().enumerate().take(max_x1).skip(x0) {
+                if h1 == 0 {
                     break;
                 }
-                min_h = min_h.min(heights[x1]);
+                min_h = min_h.min(h1);
                 let h = min_h.min(cap_l);
                 let area = ((x1 - x0 + 1) * h) as u32;
-                let improves_area = best.as_ref().map_or(true, |(a, _, _)| area > *a);
+                let improves_area = best.as_ref().is_none_or(|(a, _, _)| area > *a);
                 let ties_area = best.as_ref().is_some_and(|(a, _, _)| area == *a);
                 if improves_area || (ties_area && anchor.is_some()) {
                     let s = SubMesh::from_base_size(
@@ -312,7 +312,7 @@ mod tests {
         for y in 0..6u16 {
             for x in 0..7u16 {
                 seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if (seed >> 33) % 3 == 0 {
+                if (seed >> 33).is_multiple_of(3) {
                     m.occupy(Coord::new(x, y));
                 }
             }

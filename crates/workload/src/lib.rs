@@ -78,7 +78,7 @@ pub fn shape_for_size(p: u32, w: u16, l: u16) -> (u16, u16) {
         let squareness = (a as i32 - b as i32).unsigned_abs();
         // prefer minimal overshoot, then squarest
         let key = over * 1000 + squareness;
-        if best.map_or(true, |(k, _)| key < k) {
+        if best.is_none_or(|(k, _)| key < k) {
             best = Some((key, (a, b as u16)));
         }
     }
@@ -93,8 +93,8 @@ mod tests {
     fn shape_covers_and_fits() {
         for p in 1..=352u32 {
             let (a, b) = shape_for_size(p, 16, 22);
-            assert!(a >= 1 && a <= 16);
-            assert!(b >= 1 && b <= 22);
+            assert!((1..=16).contains(&a));
+            assert!((1..=22).contains(&b));
             assert!(a as u32 * b as u32 >= p, "p={p} got {a}x{b}");
         }
     }

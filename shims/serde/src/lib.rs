@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (nothing is
+//! serialized at runtime — SWF trace I/O is hand-written text), so these
+//! traits are empty markers. The derive macros from the sibling
+//! `serde_derive` shim emit empty impls. Swapping in real serde later is a
+//! two-line Cargo.toml change; no source edits needed.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

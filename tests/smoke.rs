@@ -1,0 +1,44 @@
+//! Workspace smoke test: every paper strategy × paper scheduler combination
+//! runs end-to-end (arrivals → queue → allocation → flit-level network →
+//! departure) on a small mesh and produces sane headline metrics.
+
+use procsim::{
+    SchedulerKind, SideDist, SimConfig, Simulator, StrategyKind, WorkloadSpec,
+};
+
+#[test]
+fn paper_strategy_scheduler_grid_produces_sane_metrics() {
+    for strat in StrategyKind::PAPER {
+        for sched in SchedulerKind::PAPER {
+            let mut cfg = SimConfig::paper(
+                strat,
+                sched,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load: 0.002,
+                    num_mes: 5.0,
+                },
+                1234,
+            );
+            // tiny mesh and short run: this is a build-gate smoke test,
+            // not a statistics run
+            cfg.mesh_w = 8;
+            cfg.mesh_l = 8;
+            cfg.warmup_jobs = 5;
+            cfg.measured_jobs = 40;
+            let m = Simulator::new(&cfg, 0).run();
+            let label = cfg.series_label();
+            assert_eq!(m.jobs, 40, "{label}: wrong measured job count");
+            assert!(
+                m.utilization > 0.0 && m.utilization <= 1.0,
+                "{label}: utilization {} outside (0, 1]",
+                m.utilization
+            );
+            assert!(
+                m.mean_turnaround > 0.0,
+                "{label}: non-positive turnaround {}",
+                m.mean_turnaround
+            );
+        }
+    }
+}

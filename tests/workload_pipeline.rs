@@ -92,7 +92,7 @@ fn non_power_of_two_sizes_penalize_mbs_fragments() {
     // the paper's explanation for MBS's trace behaviour: non-power-of-two
     // requests decompose into several blocks. Compare mean fragment count
     // for p=64 (one 8x8 block) vs p=63 (3x 1 + 3x 4 + 3x16 blocks...).
-    use procsim::{AllocationStrategy, Mesh};
+    use procsim::Mesh;
     let mesh0 = Mesh::new(16, 22);
     let mut mbs = StrategyKind::Mbs.build(&mesh0, 0);
     let mut mesh = Mesh::new(16, 22);
