@@ -1,6 +1,6 @@
 //! Contiguous baselines: First-Fit and Best-Fit sub-mesh allocation.
 //!
-//! These are the classic strategies (Zhu 1992, ref. [19] of the paper)
+//! These are the classic strategies (Zhu 1992, ref. \[19\] of the paper)
 //! whose external fragmentation motivates non-contiguous allocation: a job
 //! waits until a single free `a × b` sub-mesh exists, even when enough
 //! scattered processors are free. They are included as baselines for the

@@ -120,7 +120,7 @@ pub enum StrategyKind {
     BestFit,
     /// Random non-contiguous scatter.
     Random,
-    /// MC shell allocation (Mache/Lo/Windisch, the paper's ref. [7]).
+    /// MC shell allocation (Mache/Lo/Windisch, the paper's ref. \[7\]).
     Mc,
 }
 

@@ -1,5 +1,5 @@
 //! MC — contention-minimizing shell allocation (Mache, Lo & Windisch,
-//! PDCS 1997; reference [7] of the paper, the same work the paper's
+//! PDCS 1997; reference \[7\] of the paper, the same work the paper's
 //! trace-scaling methodology comes from).
 //!
 //! MC is non-contiguous but *shape-aware*: a request is granted the

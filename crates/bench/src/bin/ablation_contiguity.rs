@@ -5,14 +5,15 @@
 //! processors are free — so non-contiguous strategies win on turnaround
 //! even though their packets travel further. Random scatter shows the
 //! other extreme: no fragmentation but maximal dispersal; MC (the
-//! paper's ref. [7]) shows shape-free clustering between the two.
+//! paper's ref. \[7\]) shows shape-free clustering between the two.
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+    derive_seed, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
     let kinds = [
         StrategyKind::FirstFit,
@@ -26,13 +27,26 @@ fn main() {
         StrategyKind::Mc,
         StrategyKind::Random,
     ];
+    let loads = [0.0004, 0.0008];
+
+    // one config per (load, strategy), all submitted to the shared pool
+    // as a single batch; each point gets its own derived seed
+    let combos: Vec<(f64, StrategyKind)> = loads
+        .iter()
+        .flat_map(|&load| kinds.iter().map(move |&kind| (load, kind)))
+        .collect();
+
     println!("contiguity spectrum, uniform stochastic workload, FCFS\n");
     println!(
         "{:<10} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "strategy", "load", "turnaround", "service", "latency", "util", "frags"
     );
-    for load in [0.0004, 0.0008] {
-        for kind in kinds {
+    run_sweep(
+        &combos,
+        kinds.len(),
+        3,
+        reps,
+        |i, (load, kind)| {
             let mut cfg = SimConfig::paper(
                 kind,
                 SchedulerKind::Fcfs,
@@ -41,11 +55,13 @@ fn main() {
                     load,
                     num_mes: 5.0,
                 },
-                79,
+                derive_seed(79, i as u64),
             );
             cfg.warmup_jobs = 80;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(load, kind), p| {
             println!(
                 "{:<10} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.3} {:>10.1}",
                 kind.to_string(),
@@ -56,7 +72,6 @@ fn main() {
                 p.utilization(),
                 p.fragments()
             );
-        }
-        println!();
-    }
+        },
+    );
 }

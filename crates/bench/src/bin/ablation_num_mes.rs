@@ -4,27 +4,37 @@
 //! the GABL-vs-others gap scale with per-processor communication volume
 //! (more messages -> contiguity matters more).
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+    derive_seed, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
+    let kinds = [
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Mbs,
+    ];
+    let combos: Vec<(f64, StrategyKind)> = [1.0, 2.0, 5.0, 10.0, 20.0]
+        .iter()
+        .flat_map(|&num_mes| kinds.iter().map(move |&kind| (num_mes, kind)))
+        .collect();
     println!("num_mes sensitivity, uniform stochastic, load 0.0004, FCFS\n");
     println!(
         "{:<9} {:<12} {:>12} {:>10} {:>10}",
         "num_mes", "strategy", "turnaround", "service", "latency"
     );
-    for num_mes in [1.0, 2.0, 5.0, 10.0, 20.0] {
-        for kind in [
-            StrategyKind::Gabl,
-            StrategyKind::Paging {
-                size_index: 0,
-                indexing: PageIndexing::RowMajor,
-            },
-            StrategyKind::Mbs,
-        ] {
+    run_sweep(
+        &combos,
+        kinds.len(),
+        3,
+        reps,
+        |i, (num_mes, kind)| {
             let mut cfg = SimConfig::paper(
                 kind,
                 SchedulerKind::Fcfs,
@@ -33,11 +43,13 @@ fn main() {
                     load: 0.0004,
                     num_mes,
                 },
-                81,
+                derive_seed(81, i as u64),
             );
             cfg.warmup_jobs = 80;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(num_mes, kind), p| {
             println!(
                 "{:<9} {:<12} {:>12.1} {:>10.1} {:>10.1}",
                 num_mes,
@@ -46,7 +58,6 @@ fn main() {
                 p.service(),
                 p.latency()
             );
-        }
-        println!();
-    }
+        },
+    );
 }

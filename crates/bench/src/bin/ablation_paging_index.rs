@@ -4,20 +4,29 @@
 //! scheme "has only a slight impact on the performance of Paging", which
 //! is why the paper uses row-major only.
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+    derive_seed, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    let combos: Vec<(f64, PageIndexing)> = [0.0004, 0.0008, 0.0012]
+        .iter()
+        .flat_map(|&load| PageIndexing::ALL.iter().map(move |&ix| (load, ix)))
+        .collect();
     println!("Paging(0) indexing-scheme ablation, uniform stochastic workload, FCFS\n");
     println!(
         "{:<22} {:>10} {:>12} {:>10} {:>10} {:>10}",
         "indexing", "load", "turnaround", "service", "latency", "blocking"
     );
-    for load in [0.0004, 0.0008, 0.0012] {
-        for indexing in PageIndexing::ALL {
+    run_sweep(
+        &combos,
+        PageIndexing::ALL.len(),
+        3,
+        reps,
+        |i, (load, indexing)| {
             let mut cfg = SimConfig::paper(
                 StrategyKind::Paging {
                     size_index: 0,
@@ -29,11 +38,13 @@ fn main() {
                     load,
                     num_mes: 5.0,
                 },
-                77,
+                derive_seed(77, i as u64),
             );
             cfg.warmup_jobs = 100;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(load, indexing), p| {
             println!(
                 "{:<22} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
                 indexing.to_string(),
@@ -43,7 +54,6 @@ fn main() {
                 p.latency(),
                 p.blocking()
             );
-        }
-        println!();
-    }
+        },
+    );
 }

@@ -6,20 +6,29 @@
 //! Larger pages should show better latency (more contiguity) but worse
 //! turnaround/utilization at load (wasted processors).
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+    derive_seed, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    let combos: Vec<(f64, u8)> = [0.0004, 0.0008]
+        .iter()
+        .flat_map(|&load| (0..=3u8).map(move |k| (load, k)))
+        .collect();
     println!("Paging page-size ablation (pages 2^k x 2^k), uniform stochastic, FCFS\n");
     println!(
         "{:<10} {:>10} {:>12} {:>10} {:>10} {:>12}",
         "paging", "load", "turnaround", "latency", "blocking", "utilization"
     );
-    for load in [0.0004, 0.0008] {
-        for k in 0..=3u8 {
+    run_sweep(
+        &combos,
+        4, // one group per load: size_index 0..=3
+        3,
+        reps,
+        |i, (load, k)| {
             let mut cfg = SimConfig::paper(
                 StrategyKind::Paging {
                     size_index: k,
@@ -31,11 +40,13 @@ fn main() {
                     load,
                     num_mes: 5.0,
                 },
-                78,
+                derive_seed(78, i as u64),
             );
             cfg.warmup_jobs = 100;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(load, k), p| {
             println!(
                 "Paging({k})  {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>12.3}",
                 load,
@@ -44,7 +55,6 @@ fn main() {
                 p.blocking(),
                 p.utilization()
             );
-        }
-        println!();
-    }
+        },
+    );
 }

@@ -7,28 +7,38 @@
 //! should shrink, because contiguity matters less when traffic stays
 //! local or light.
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, Pattern, SchedulerKind, SideDist, SimConfig, StrategyKind,
+    derive_seed, PageIndexing, Pattern, SchedulerKind, SideDist, SimConfig, StrategyKind,
     WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (300, 3) };
+    let kinds = [
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Random,
+    ];
+    let combos: Vec<(Pattern, StrategyKind)> = Pattern::ALL
+        .iter()
+        .flat_map(|&pattern| kinds.iter().map(move |&kind| (pattern, kind)))
+        .collect();
     println!("communication-pattern ablation, uniform stochastic, load 0.0008, FCFS\n");
     println!(
         "{:<16} {:<12} {:>12} {:>10} {:>10}",
         "pattern", "strategy", "turnaround", "service", "latency"
     );
-    for pattern in Pattern::ALL {
-        for kind in [
-            StrategyKind::Gabl,
-            StrategyKind::Paging {
-                size_index: 0,
-                indexing: PageIndexing::RowMajor,
-            },
-            StrategyKind::Random,
-        ] {
+    run_sweep(
+        &combos,
+        kinds.len(),
+        3,
+        reps,
+        |i, (pattern, kind)| {
             let mut cfg = SimConfig::paper(
                 kind,
                 SchedulerKind::Fcfs,
@@ -37,12 +47,14 @@ fn main() {
                     load: 0.0008,
                     num_mes: 5.0,
                 },
-                80,
+                derive_seed(80, i as u64),
             );
             cfg.pattern = pattern;
             cfg.warmup_jobs = 80;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(pattern, kind), p| {
             println!(
                 "{:<16} {:<12} {:>12.1} {:>10.1} {:>10.1}",
                 pattern.to_string(),
@@ -51,7 +63,6 @@ fn main() {
                 p.service(),
                 p.latency()
             );
-        }
-        println!();
-    }
+        },
+    );
 }

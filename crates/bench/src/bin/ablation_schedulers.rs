@@ -5,10 +5,13 @@
 //! substrate: the spread across schedulers at fixed allocation strategy
 //! vs the spread across strategies at fixed scheduler.
 
-use procsim_core::{run_point, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec};
+use procsim_bench::{ablation_args, run_sweep};
+use procsim_core::{
+    derive_seed, SchedulerKind, SideDist, SimConfig, StrategyKind, WorkloadSpec,
+};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
     let scheds = [
         SchedulerKind::Fcfs,
@@ -18,13 +21,21 @@ fn main() {
         SchedulerKind::FcfsWindow(4),
         SchedulerKind::EasyBackfill,
     ];
+    let combos: Vec<(f64, SchedulerKind)> = [0.0006, 0.0012]
+        .iter()
+        .flat_map(|&load| scheds.iter().map(move |&sched| (load, sched)))
+        .collect();
     println!("scheduler ablation, GABL allocation, uniform stochastic workload\n");
     println!(
         "{:<10} {:>10} {:>12} {:>10} {:>12}",
         "scheduler", "load", "turnaround", "wait", "utilization"
     );
-    for load in [0.0006, 0.0012] {
-        for sched in scheds {
+    run_sweep(
+        &combos,
+        scheds.len(),
+        3,
+        reps,
+        |i, (load, sched)| {
             let mut cfg = SimConfig::paper(
                 StrategyKind::Gabl,
                 sched,
@@ -33,11 +44,13 @@ fn main() {
                     load,
                     num_mes: 5.0,
                 },
-                92,
+                derive_seed(92, i as u64),
             );
             cfg.warmup_jobs = 100;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(load, sched), p| {
             println!(
                 "{:<10} {:>10.4} {:>12.1} {:>10.1} {:>12.3}",
                 sched.to_string(),
@@ -46,8 +59,7 @@ fn main() {
                 p.turnaround() - p.service(),
                 p.utilization()
             );
-        }
-        println!();
-    }
+        },
+    );
     println!("LJF illustrates the anti-policy; SSD/SJF/EASY all attack FCFS head blocking.");
 }

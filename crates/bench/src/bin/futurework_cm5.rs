@@ -8,14 +8,15 @@
 //! the power-of-two question; this experiment isolates exactly that
 //! variable while holding everything else fixed.
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SimConfig, StrategyKind, WorkloadSpec,
+    derive_seed, PageIndexing, SchedulerKind, SimConfig, StrategyKind, WorkloadSpec,
 };
 use std::sync::Arc;
 use workload::{factor_for_load, trace_to_jobs, Cm5Model, ParagonModel};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
     let load = 0.001;
     let runtime_scale = 360.0;
@@ -37,42 +38,55 @@ fn main() {
         runtime_scale,
     ));
 
+    let kinds = [
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Mbs,
+    ];
+    let traces = [("paragon", &paragon), ("cm5", &cm5)];
+    // combos carry an index into `traces` (the Arc'd job streams are not
+    // Copy); make_cfg and the row printer look the trace back up
+    let combos: Vec<(usize, StrategyKind)> = (0..traces.len())
+        .flat_map(|t| kinds.iter().map(move |&kind| (t, kind)))
+        .collect();
+
     println!("Paragon-style (non-power-of-two sizes) vs CM-5-style (all powers of two)");
     println!("trace workloads, load {load}, FCFS\n");
     println!(
         "{:<10} {:<12} {:>12} {:>10} {:>10} {:>8}",
         "trace", "strategy", "turnaround", "service", "latency", "frags"
     );
-    for (name, jobs) in [("paragon", &paragon), ("cm5", &cm5)] {
-        for kind in [
-            StrategyKind::Gabl,
-            StrategyKind::Paging {
-                size_index: 0,
-                indexing: PageIndexing::RowMajor,
-            },
-            StrategyKind::Mbs,
-        ] {
+    run_sweep(
+        &combos,
+        kinds.len(),
+        3,
+        reps,
+        |i, (t, kind)| {
             let mut cfg = SimConfig::paper(
                 kind,
                 SchedulerKind::Fcfs,
-                WorkloadSpec::FixedTrace(jobs.clone()),
-                91,
+                WorkloadSpec::FixedTrace(traces[t].1.clone()),
+                derive_seed(91, i as u64),
             );
             cfg.warmup_jobs = 100;
             cfg.measured_jobs = measured;
-            let p = run_point(&cfg, 3, reps);
+            cfg
+        },
+        |(t, kind), p| {
             println!(
                 "{:<10} {:<12} {:>12.1} {:>10.1} {:>10.1} {:>8.1}",
-                name,
+                traces[t].0,
                 kind.to_string(),
                 p.turnaround(),
                 p.service(),
                 p.latency(),
                 p.fragments()
             );
-        }
-        println!();
-    }
+        },
+    );
     println!("expectation: MBS's fragment count collapses on the CM-5 trace (32- and");
     println!("128-node jobs still need two buddy blocks — contiguity is guaranteed only");
     println!("for 2^2n sizes, exactly the paper's §3 remark), closing its service-time");

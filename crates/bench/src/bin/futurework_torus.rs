@@ -9,55 +9,68 @@
 //! allocation shrinks and the strategies move closer together — the
 //! contiguity-preserving strategy matters most on the mesh.
 
+use procsim_bench::{ablation_args, run_sweep};
 use procsim_core::{
-    run_point, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, TopologyKind,
+    derive_seed, PageIndexing, SchedulerKind, SideDist, SimConfig, StrategyKind, TopologyKind,
     WorkloadSpec,
 };
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let full = ablation_args();
     let (measured, reps) = if full { (1000, 10) } else { (400, 4) };
+    let kinds = [
+        StrategyKind::Gabl,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        StrategyKind::Mbs,
+    ];
+    let mut combos: Vec<(f64, TopologyKind, StrategyKind)> = Vec::new();
+    for load in [0.0004, 0.0008, 0.0012] {
+        for topo in [TopologyKind::Mesh, TopologyKind::Torus] {
+            for kind in kinds {
+                combos.push((load, topo, kind));
+            }
+        }
+    }
     println!("mesh vs torus, uniform stochastic workload, FCFS\n");
     println!(
         "{:<8} {:<12} {:>10} {:>12} {:>10} {:>10} {:>10}",
         "topo", "strategy", "load", "turnaround", "service", "latency", "blocking"
     );
-    for load in [0.0004, 0.0008, 0.0012] {
-        for topology in [TopologyKind::Mesh, TopologyKind::Torus] {
-            for kind in [
-                StrategyKind::Gabl,
-                StrategyKind::Paging {
-                    size_index: 0,
-                    indexing: PageIndexing::RowMajor,
-                },
-                StrategyKind::Mbs,
-            ] {
-                let mut cfg = SimConfig::paper(
-                    kind,
-                    SchedulerKind::Fcfs,
-                    WorkloadSpec::Stochastic {
-                        sides: SideDist::Uniform,
-                        load,
-                        num_mes: 5.0,
-                    },
-                    90,
-                );
-                cfg.topology = topology;
-                cfg.warmup_jobs = 100;
-                cfg.measured_jobs = measured;
-                let p = run_point(&cfg, 3, reps);
-                println!(
-                    "{:<8} {:<12} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
-                    format!("{topology:?}"),
-                    kind.to_string(),
+    run_sweep(
+        &combos,
+        2 * kinds.len(), // one group per load: {mesh, torus} × kinds
+        3,
+        reps,
+        |i, (load, topology, kind)| {
+            let mut cfg = SimConfig::paper(
+                kind,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
                     load,
-                    p.turnaround(),
-                    p.service(),
-                    p.latency(),
-                    p.blocking()
-                );
-            }
-        }
-        println!();
-    }
+                    num_mes: 5.0,
+                },
+                derive_seed(90, i as u64),
+            );
+            cfg.topology = topology;
+            cfg.warmup_jobs = 100;
+            cfg.measured_jobs = measured;
+            cfg
+        },
+        |(load, topology, kind), p| {
+            println!(
+                "{:<8} {:<12} {:>10.4} {:>12.1} {:>10.1} {:>10.1} {:>10.1}",
+                format!("{topology:?}"),
+                kind.to_string(),
+                load,
+                p.turnaround(),
+                p.service(),
+                p.latency(),
+                p.blocking()
+            );
+        },
+    );
 }

@@ -7,6 +7,16 @@
 //! {GABL, Paging(0), MBS} × {FCFS, SSD}) as a table on stdout and a CSV
 //! under `results/`.
 //!
+//! ## Execution model
+//!
+//! Every binary funnels all of its (series × load) points — and all of
+//! each point's replications — through the workspace-wide worker pool
+//! ([`procsim_core::pool`]) as one batch: replications of different
+//! points interleave, so the pool stays saturated even while a slow
+//! saturated point converges. `--threads N` / `PROCSIM_THREADS` size the
+//! pool; results are bit-identical for any thread count (see
+//! `EXPERIMENTS.md` for the recorded runtimes).
+//!
 //! ## Load-axis calibration
 //!
 //! Our substrate is a reimplementation, not the authors' testbed: the
@@ -22,4 +32,4 @@ pub mod runner;
 
 pub use figures::{figure, FigureSpec, Metric, WorkloadKind, ALL_FIGURES};
 pub use plot::ascii_chart;
-pub use runner::{run_figure, run_figure_main, FigureData, RunMode};
+pub use runner::{ablation_args, run_figure, run_figure_main, run_sweep, FigureData, RunMode};

@@ -11,7 +11,9 @@ pub enum WorkloadSpec {
     /// The paper's stochastic workload at a given system load
     /// (jobs per time unit).
     Stochastic {
+        /// Distribution of requested sub-mesh side lengths.
         sides: SideDist,
+        /// System load (jobs per time unit) driving the arrival rate.
         load: f64,
         /// Mean per-processor message count (`num_mes`, paper value 5).
         num_mes: f64,
@@ -20,7 +22,10 @@ pub enum WorkloadSpec {
     /// arrival-scaling factor `f` is derived as `1 / (mean_ia · load)`.
     /// Each replication draws a fresh trace from the model.
     SyntheticTrace {
+        /// Statistical model of the SDSC Paragon trace to draw from.
         model: ParagonModel,
+        /// System load (jobs per time unit); sets the arrival-scaling
+        /// factor `f`.
         load: f64,
         /// Seconds of trace runtime per message (DESIGN.md §3; mean
         /// runtime / runtime_scale becomes the mean per-processor message

@@ -17,16 +17,31 @@
 //! Entry points:
 //! * [`Simulator::run`] — one replication, returning [`RunMetrics`],
 //! * [`replicate::run_point`] — replications until the paper's 95 % CI /
-//!   5 % relative error criterion is met.
+//!   5 % relative error criterion is met, executed in parallel on the
+//!   shared [`pool`] worker pool (bit-identical to the sequential
+//!   reference [`replicate::run_point_seq`] at any thread count),
+//! * [`replicate::run_points`] — a whole batch of points (e.g. every
+//!   (series × load) combination of a figure) multiplexed over the same
+//!   pool.
+//!
+//! Parallelism is controlled by the CLI `--threads N` flag or the
+//! `PROCSIM_THREADS` environment variable; see [`pool`].
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod metrics;
+pub mod pool;
 pub mod replicate;
 pub mod simulator;
 
 pub use config::{SimConfig, WorkloadSpec};
 pub use metrics::RunMetrics;
-pub use replicate::{run_point, PointResult};
+pub use pool::WorkerPool;
+pub use replicate::{
+    derive_seed, run_point, run_point_on, run_point_seq, run_points, run_points_controlled,
+    run_points_on, PointResult,
+};
 pub use simulator::Simulator;
 
 // Re-export the vocabulary types callers configure with.

@@ -106,11 +106,14 @@ pub struct Simulator {
 
 impl Simulator {
     /// Builds replication `rep` of the configured experiment. Different
-    /// `rep` values use provably independent random substreams; the same
+    /// `rep` values use provably independent random substreams — the
+    /// replication seed is [`crate::derive_seed`]`(cfg.seed, rep)`, a
+    /// SplitMix64-mixed substream rather than an offset of the raw
+    /// replication counter, so replication streams never collide across
+    /// points that were themselves given derived seeds. The same
     /// `(seed, rep)` pair is fully reproducible.
     pub fn new(cfg: &SimConfig, rep: u64) -> Self {
-        let mut root = SimRng::new(cfg.seed);
-        let mut rep_rng = root.substream(rep + 1);
+        let mut rep_rng = SimRng::new(crate::replicate::derive_seed(cfg.seed, rep));
         let mut wl_rng = rep_rng.substream(1);
         let pat_rng = rep_rng.substream(2);
         let strat_seed = rep_rng.substream(3).raw();

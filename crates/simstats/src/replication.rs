@@ -70,6 +70,16 @@ impl Replications {
         self.stats[0].count() as usize
     }
 
+    /// Minimum replications before the precision test applies.
+    pub fn min_reps(&self) -> usize {
+        self.min_reps
+    }
+
+    /// Replication budget (hard cap).
+    pub fn max_reps(&self) -> usize {
+        self.max_reps
+    }
+
     /// Whether another replication is needed.
     pub fn needs_more(&self) -> bool {
         self.stop_reason() == StopReason::NotStopped

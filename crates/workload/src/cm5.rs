@@ -2,7 +2,7 @@
 //!
 //! The paper's future work proposes evaluating "the allocation strategies
 //! based on other real workload traces from different parallel machines".
-//! Its reference [9] (Windisch et al., Frontiers '96) compares the SDSC
+//! Its reference \[9\] (Windisch et al., Frontiers '96) compares the SDSC
 //! Paragon trace against a LANL CM-5 trace whose defining property is the
 //! opposite of the Paragon's: the CM-5 scheduler only offered
 //! **power-of-two partition sizes** (32, 64, 128, 256, ...), so every job

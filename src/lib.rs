@@ -57,7 +57,10 @@ pub use workload::{
 };
 
 // --- the integrated simulator ----------------------------------------------
-pub use procsim_core::{run_point, PointResult, RunMetrics, SimConfig, Simulator, WorkloadSpec};
+pub use procsim_core::{
+    derive_seed, pool, run_point, run_point_on, run_point_seq, run_points, run_points_on,
+    PointResult, RunMetrics, SimConfig, Simulator, WorkerPool, WorkloadSpec,
+};
 
 /// The mesh dimensions used throughout the paper (the 352-node SDSC
 /// Paragon partition shape).

@@ -6,14 +6,19 @@
 //!               [--scheduler fcfs|ssd|sjf|ljf|easy]
 //!               [--workload uniform|exponential|paragon|cm5]
 //!               [--load 0.0008] [--jobs 400] [--seed 42]
-//!               [--torus] [--reps N]
+//!               [--torus] [--reps N] [--threads N]
 //! procsim sweep [same flags] --loads 0.0002,0.0004,0.0008
 //! procsim trace <file.swf> [--factor 0.25] [--scale 360]
 //! ```
+//!
+//! Replications run in parallel on the shared worker pool; `--threads N`
+//! (or the `PROCSIM_THREADS` environment variable) sets its size. The
+//! thread count never changes results, only wall-clock time.
 
 use procsim::{
-    parse_swf, run_point, summarize, trace_to_jobs, Cm5Model, PageIndexing, ParagonModel,
-    SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind, TopologyKind, WorkloadSpec,
+    parse_swf, run_point, run_points, summarize, trace_to_jobs, Cm5Model, PageIndexing,
+    ParagonModel, SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind, TopologyKind,
+    WorkloadSpec,
 };
 use std::sync::Arc;
 
@@ -128,8 +133,7 @@ fn config_from(a: &Args, load: f64) -> SimConfig {
     cfg
 }
 
-fn print_point(cfg: &SimConfig, reps: usize) {
-    let p = run_point(cfg, reps.max(2), reps.max(2) * 2);
+fn print_result(p: &procsim::PointResult) {
     println!(
         "{:<18} load {:<9.5} turnaround {:>10.1} ±{:>7.1}  service {:>8.1}  util {:>5.3}  latency {:>7.1}  blocking {:>7.1}  [{} reps]",
         p.label,
@@ -144,11 +148,21 @@ fn print_point(cfg: &SimConfig, reps: usize) {
     );
 }
 
+fn print_point(cfg: &SimConfig, reps: usize) {
+    print_result(&run_point(cfg, reps.max(2), reps.max(2) * 2));
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().map(|s| s.as_str()).unwrap_or("help");
     let a = parse_args(&argv[1.min(argv.len())..]);
     let reps: usize = a.map.get("reps").map(|s| s.parse().expect("bad --reps")).unwrap_or(3);
+    if let Some(n) = a.map.get("threads") {
+        let n: usize = n.parse().expect("bad --threads");
+        if !procsim::pool::configure_global(n.max(1)) {
+            eprintln!("warning: worker pool already sized; --threads {n} ignored");
+        }
+    }
 
     match cmd {
         "run" => {
@@ -168,9 +182,10 @@ fn main() {
                 .split(',')
                 .map(|s| s.trim().parse().expect("bad load value"))
                 .collect();
-            for load in loads {
-                let cfg = config_from(&a, load);
-                print_point(&cfg, reps);
+            // one batch: every load's replications share the worker pool
+            let cfgs: Vec<SimConfig> = loads.iter().map(|&l| config_from(&a, l)).collect();
+            for p in run_points(&cfgs, reps.max(2), reps.max(2) * 2) {
+                print_result(&p);
             }
         }
         "trace" => {
@@ -205,13 +220,16 @@ fn main() {
             println!("(IPDPS 2008 reproduction; see README.md)\n");
             println!("usage:");
             println!("  procsim run   [--strategy S] [--scheduler P] [--workload W] [--load L]");
-            println!("                [--jobs N] [--seed K] [--reps R] [--torus]");
+            println!("                [--jobs N] [--seed K] [--reps R] [--torus] [--threads T]");
             println!("  procsim sweep --loads a,b,c [same flags]");
             println!("  procsim trace <file.swf> [--factor F] [--scale S]");
             println!();
             println!("strategies: gabl paging0 paging1 mbs ff bf random mc");
             println!("schedulers: fcfs ssd sjf ljf easy");
             println!("workloads:  uniform exponential paragon cm5");
+            println!();
+            println!("replications run on a shared worker pool; size it with --threads N");
+            println!("or PROCSIM_THREADS=N (results are identical for any thread count)");
         }
     }
 }
