@@ -1,0 +1,194 @@
+//! Figure-style validation of the synthetic Paragon model against a real
+//! replayed trace: sweep offered load on the checked-in SWF sample
+//! (`results/traces/sdsc_sample.swf`) and overlay the paper's stochastic
+//! trace model (`ParagonModel` via `WorkloadSpec::SyntheticTrace`, a
+//! fresh statistical draw per replication) at the *same* offered loads.
+//!
+//! If the model is a faithful stand-in, the two curve families should
+//! track each other per strategy — same ordering, same knee — which is
+//! exactly the calibration claim DESIGN.md §3 makes. CSV lands in
+//! `results/trace_vs_synthetic.csv`.
+//!
+//! ```text
+//! cargo run --release -p procsim_bench --bin trace_vs_synthetic [-- --full --threads N]
+//! ```
+
+use procsim_bench::{ascii_chart, RunMode};
+use procsim_core::{
+    derive_seed, pool, run_points_on, ParagonModel, SchedulerKind, SimConfig, StrategyKind,
+    TraceWorkload, WorkloadSpec,
+};
+use std::io::Write;
+use std::sync::Arc;
+
+/// Offered-load sweep (fraction of machine capacity in trace time):
+/// light load through past the native 1.0 point.
+const RHOS: &[f64] = &[0.3, 0.5, 0.7, 0.9, 1.1];
+
+/// Seconds of trace runtime per message, as everywhere in the harness.
+const RUNTIME_SCALE: f64 = 360.0;
+
+fn main() {
+    let mut mode = RunMode::from_args();
+    if let Some(n) = mode.threads {
+        let _ = pool::configure_global(n);
+    }
+
+    // the checked-in sample, resolved relative to this crate so the
+    // binary works from any working directory
+    let sample_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/traces/sdsc_sample.swf"
+    );
+    let text = std::fs::read_to_string(sample_path)
+        .unwrap_or_else(|e| panic!("cannot read {sample_path}: {e} (run `procsim gen-trace`?)"));
+    let trace = Arc::new(TraceWorkload::from_swf(&text).expect("sample parses"));
+    // a replication consumes at most one pass over the trace: cap the
+    // per-replication job budget to the sample's length (--full would
+    // otherwise silently measure fewer jobs than the paper protocol)
+    let (warmup, measured) = trace.capped_budget(mode.warmup, mode.measured);
+    if (warmup, measured) != (mode.warmup, mode.measured) {
+        eprintln!(
+            "note: sample has {} jobs; capping to {measured} measured after {warmup} warmup per replication",
+            trace.len(),
+        );
+    }
+    mode.warmup = warmup;
+    mode.measured = measured;
+
+    // reference draw of the model, used only to convert offered load ->
+    // the arrival-rate load SyntheticTrace expects (same conversion the
+    // replay side does internally, so both sides target the same rho)
+    let reference = TraceWorkload::new(
+        ParagonModel::default().generate(&mut desim::SimRng::new(0xCA11)),
+    )
+    .expect("model trace");
+    let machine = 16u32 * 22;
+
+    let strategies = StrategyKind::PAPER;
+    let sources = ["trace", "model"];
+    // trace series first, then model series, so the chart glyphs line up
+    // as G/P/M = replay and g/p/m = model
+    let series_labels: Vec<String> = sources
+        .iter()
+        .flat_map(|src| strategies.iter().map(move |s| format!("{s}/{src}")))
+        .collect();
+
+    // row-major (series outer, loads inner), one derived seed per point
+    let cfgs: Vec<SimConfig> = sources
+        .iter()
+        .flat_map(|&src| strategies.iter().map(move |&strat| (strat, src)))
+        .flat_map(|combo| RHOS.iter().map(move |&rho| (combo, rho)))
+        .enumerate()
+        .map(|(slot, ((strat, src), rho))| {
+            let workload = match src {
+                "trace" => WorkloadSpec::Trace {
+                    trace: trace.clone(),
+                    load: rho,
+                    runtime_scale: RUNTIME_SCALE,
+                },
+                _ => WorkloadSpec::SyntheticTrace {
+                    model: ParagonModel::default(),
+                    load: reference.arrival_load(machine, rho),
+                    runtime_scale: RUNTIME_SCALE,
+                },
+            };
+            let mut cfg = SimConfig::paper(
+                strat,
+                SchedulerKind::Fcfs,
+                workload,
+                derive_seed(0x72ACE, slot as u64),
+            );
+            cfg.warmup_jobs = mode.warmup;
+            cfg.measured_jobs = mode.measured;
+            cfg
+        })
+        .collect();
+
+    eprintln!(
+        "trace_vs_synthetic: {} points ({} series x {} loads), {} mode...",
+        cfgs.len(),
+        series_labels.len(),
+        RHOS.len(),
+        mode.label()
+    );
+    let t0 = std::time::Instant::now();
+    let pool = pool::pool_with(mode.threads);
+    let points = run_points_on(&pool, &cfgs, mode.min_reps, mode.max_reps);
+
+    // table: loads as rows, series as columns, headline = turnaround
+    println!("Replayed SWF sample vs synthetic Paragon model, turnaround vs offered load, FCFS\n");
+    print!("{:>8}", "rho");
+    for lbl in &series_labels {
+        print!(" {lbl:>18}");
+    }
+    println!();
+    for (l, rho) in RHOS.iter().enumerate() {
+        print!("{rho:>8.2}");
+        for s in 0..series_labels.len() {
+            print!(" {:>18.1}", points[s * RHOS.len() + l].turnaround());
+        }
+        println!();
+    }
+
+    let chart_series: Vec<(String, Vec<f64>)> = series_labels
+        .iter()
+        .enumerate()
+        .map(|(s, lbl)| {
+            (
+                lbl.clone(),
+                (0..RHOS.len())
+                    .map(|l| points[s * RHOS.len() + l].turnaround())
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        ascii_chart(
+            "turnaround vs offered load (trace glyphs G/P/M, model g/p/m)",
+            RHOS,
+            &chart_series,
+            64,
+            18
+        )
+    );
+
+    // anchored like the input: the CSV lands in the repo's results/
+    // whatever the working directory
+    let results_dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let csv = results_dir.join("trace_vs_synthetic.csv");
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(results_dir)?;
+        let mut f = std::fs::File::create(&csv)?;
+        writeln!(
+            f,
+            "series,source,rho,reps,turnaround,service,utilization,blocking,latency,fragments"
+        )?;
+        for (s, lbl) in series_labels.iter().enumerate() {
+            let (strat, src) = lbl.split_once('/').unwrap();
+            for (l, rho) in RHOS.iter().enumerate() {
+                let p = &points[s * RHOS.len() + l];
+                writeln!(
+                    f,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    strat,
+                    src,
+                    rho,
+                    p.replications,
+                    p.means[0],
+                    p.means[1],
+                    p.means[2],
+                    p.means[3],
+                    p.means[4],
+                    p.means[5],
+                )?;
+            }
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => eprintln!("wrote {} ({:.1}s)", csv.display(), t0.elapsed().as_secs_f64()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -2,7 +2,7 @@
 
 use mesh_alloc::StrategyKind;
 use mesh_sched::SchedulerKind;
-use workload::{JobSpec, ParagonModel, SideDist};
+use workload::{JobSpec, ParagonModel, SideDist, TraceWorkload};
 use wormnet::{Pattern, TopologyKind};
 
 /// Which job stream drives a run.
@@ -34,17 +34,45 @@ pub enum WorkloadSpec {
     },
     /// A fixed externally supplied job stream (e.g. parsed from SWF).
     /// Replication `r` replays the stream starting at job offset
-    /// `r × measured_jobs` so independent replications see disjoint
-    /// segments.
+    /// `r × (warmup_jobs + measured_jobs)` (mod stream length) so
+    /// independent replications see disjoint segments; when the stream is
+    /// too short for disjointness the offset degrades to one job per
+    /// replication, keeping replications distinct. A replication supplies
+    /// at most one full pass over the stream — ask for more jobs than the
+    /// trace holds and the run ends early with fewer measured jobs
+    /// (front-ends should cap and warn, as `procsim trace` does).
     FixedTrace(std::sync::Arc<Vec<JobSpec>>),
+    /// A real trace (e.g. an SWF archive file) replayed at a target
+    /// **offered load**: arrivals are rescaled by the factor
+    /// [`TraceWorkload::factor_for_offered_load`] derives (via the
+    /// paper's `factor_for_load`) so that the trace-domain offered load
+    /// on this mesh equals `load`. Replications replay segments offset
+    /// exactly like [`WorkloadSpec::FixedTrace`] (disjoint when the trace
+    /// is long enough), and the same one-pass length cap applies.
+    Trace {
+        /// The wrapped trace.
+        trace: std::sync::Arc<TraceWorkload>,
+        /// Target offered load ρ — the fraction of machine capacity the
+        /// scaled trace occupies in its own time domain (0.7 = 70 %).
+        /// Unlike the other variants this is *not* jobs per time unit;
+        /// the equivalent arrival-rate load is
+        /// [`TraceWorkload::arrival_load`]`(W·L, ρ)`.
+        load: f64,
+        /// Seconds of trace runtime per message (as in
+        /// [`WorkloadSpec::SyntheticTrace`]).
+        runtime_scale: f64,
+    },
 }
 
 impl WorkloadSpec {
-    /// The nominal system load of this workload (jobs per time unit).
+    /// The nominal load of this workload: jobs per time unit for the
+    /// stochastic and synthetic-trace variants, the offered-load fraction
+    /// for [`WorkloadSpec::Trace`].
     pub fn load(&self) -> f64 {
         match self {
             WorkloadSpec::Stochastic { load, .. } => *load,
             WorkloadSpec::SyntheticTrace { load, .. } => *load,
+            WorkloadSpec::Trace { load, .. } => *load,
             WorkloadSpec::FixedTrace(jobs) => {
                 if jobs.len() < 2 {
                     return 0.0;

@@ -47,5 +47,5 @@ pub use simulator::Simulator;
 // Re-export the vocabulary types callers configure with.
 pub use mesh_alloc::{PageIndexing, StrategyKind};
 pub use mesh_sched::SchedulerKind;
-pub use workload::{ParagonModel, SideDist};
+pub use workload::{ParagonModel, SideDist, TraceWorkload};
 pub use wormnet::{Pattern, TopologyKind};

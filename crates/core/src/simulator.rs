@@ -55,6 +55,28 @@ struct JobState {
     pkts: u64,
 }
 
+/// Builds the trace source for replication `rep`: each replication
+/// starts `needed` jobs further into the (wrapping) stream so
+/// replications see disjoint segments. When the trace is too short for
+/// that — `needed` a multiple of its length would leave every
+/// replication at offset 0, replaying identical segments — the stride
+/// degrades to rotating the stream one job per replication, which keeps
+/// replications distinct (the queueing transient differs) even though
+/// their job populations overlap.
+fn trace_source(jobs: Arc<Vec<JobSpec>>, rep: u64, needed: usize) -> Source {
+    let len = jobs.len();
+    let stride = (needed % len).max(1);
+    let pos = (rep as usize * stride) % len;
+    let base = jobs[pos].arrive;
+    Source::Trace {
+        jobs,
+        pos,
+        base,
+        shift: 0,
+        remaining: len,
+    }
+}
+
 /// Where the next arrival comes from.
 enum Source {
     Stochastic {
@@ -65,8 +87,13 @@ enum Source {
     Trace {
         jobs: Arc<Vec<JobSpec>>,
         pos: usize,
-        /// Arrival-time rebase so the segment starts at 0.
+        /// Arrival-time rebase so the segment starts at 0 (subtracted).
         base: Time,
+        /// Accumulated offset added after a wrap-around, so the wrapped
+        /// prefix continues seamlessly after the tail with its original
+        /// inter-arrival gaps instead of flooding in at the current
+        /// clock.
+        shift: Time,
         /// Wrap-around segment end (exclusive index distance).
         remaining: usize,
     },
@@ -161,20 +188,26 @@ impl Simulator {
                     jobs: Arc::new(jobs),
                     pos: 0,
                     base: 0,
+                    shift: 0,
                     remaining,
                 }
             }
             WorkloadSpec::FixedTrace(jobs) => {
                 assert!(!jobs.is_empty(), "empty fixed trace");
-                // disjoint segment per replication, wrapping around
-                let pos = (rep as usize * needed) % jobs.len();
-                let base = jobs[pos].arrive;
-                Source::Trace {
-                    jobs: jobs.clone(),
-                    pos,
-                    base,
-                    remaining: jobs.len(),
-                }
+                trace_source(jobs.clone(), rep, needed)
+            }
+            WorkloadSpec::Trace {
+                trace,
+                load,
+                runtime_scale,
+            } => {
+                // the scaled stream is a pure function of (trace, mesh,
+                // load), so all replications (and all strategies sharing
+                // the trace) reuse one memoized conversion — only the
+                // starting segment differs per replication
+                let jobs =
+                    trace.jobs_at_load_shared(cfg.mesh_w, cfg.mesh_l, *load, *runtime_scale);
+                trace_source(jobs, rep, needed)
             }
         };
 
@@ -220,6 +253,7 @@ impl Simulator {
                 jobs,
                 pos,
                 base,
+                shift,
                 remaining,
             } => {
                 if *remaining == 0 {
@@ -227,17 +261,20 @@ impl Simulator {
                 }
                 *remaining -= 1;
                 let mut job = jobs[*pos];
-                // rebase the segment to start at 0; on wrap-around,
-                // continue seamlessly from the current clock
-                if jobs[*pos].arrive < *base {
-                    *base = jobs[*pos].arrive;
-                }
-                job.arrive = self.now.max(jobs[*pos].arrive - *base);
+                // rebase the segment to start at 0 (saturating: guards
+                // against an unsorted stream)
+                let rebased = jobs[*pos].arrive.saturating_sub(*base) + *shift;
+                job.arrive = self.now.max(rebased);
                 job.id = (*pos) as u64; // unique within segment
                 *pos += 1;
                 if *pos == jobs.len() {
+                    // wrap-around: the prefix continues right after the
+                    // tail, preserving its original inter-arrival gaps
+                    // (rebasing to the tail time, not the current clock,
+                    // so no burst of "past" arrivals floods the queue)
                     *pos = 0;
-                    *base = 0;
+                    *base = jobs[0].arrive;
+                    *shift = rebased + 1;
                 }
                 self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
             }
@@ -630,6 +667,49 @@ mod tests {
     }
 
     #[test]
+    fn swf_trace_workload_replays_at_offered_load() {
+        use workload::TraceWorkload;
+        let recs = workload::ParagonModel {
+            jobs: 700,
+            ..Default::default()
+        }
+        .generate(&mut desim::SimRng::new(11));
+        let trace = Arc::new(TraceWorkload::new(recs).unwrap());
+        let run_at = |rho: f64, rep: u64| {
+            let mut cfg = SimConfig::paper(
+                StrategyKind::Gabl,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Trace {
+                    trace: trace.clone(),
+                    load: rho,
+                    runtime_scale: 360.0,
+                },
+                13,
+            );
+            cfg.warmup_jobs = 10;
+            cfg.measured_jobs = 80;
+            assert!((cfg.workload.load() - rho).abs() < 1e-12);
+            Simulator::new(&cfg, rep).run()
+        };
+        let light = run_at(0.3, 0);
+        let heavy = run_at(1.5, 0);
+        assert_eq!(light.jobs, 80);
+        assert_eq!(heavy.jobs, 80);
+        assert!(
+            heavy.mean_turnaround > light.mean_turnaround,
+            "rho=1.5 {} vs rho=0.3 {}",
+            heavy.mean_turnaround,
+            light.mean_turnaround
+        );
+        // replications replay disjoint segments
+        let rep1 = run_at(0.3, 1);
+        assert_ne!(light.end_time, rep1.end_time);
+        // same (seed, rep) is reproducible
+        let again = run_at(0.3, 0);
+        assert_eq!(light.mean_turnaround, again.mean_turnaround);
+    }
+
+    #[test]
     fn fixed_trace_replays_segments() {
         let jobs: Vec<JobSpec> = (0..500)
             .map(|i| JobSpec {
@@ -653,6 +733,41 @@ mod tests {
         let b = Simulator::new(&cfg, 1).run();
         assert_eq!(a.jobs, 50);
         assert_eq!(b.jobs, 50);
+    }
+
+    #[test]
+    fn short_trace_replications_stay_distinct() {
+        // needed (warmup + measured) equals the trace length: the naive
+        // offset rep*needed % len would be 0 for every replication,
+        // making them identical; the stride fallback rotates the stream
+        // one job per replication instead
+        let jobs: Vec<JobSpec> = (0..60)
+            .map(|i| JobSpec {
+                id: i,
+                arrive: i * 40,
+                a: 1 + (i % 5) as u16,
+                b: 1 + (i % 7) as u16,
+                msgs_per_node: 2,
+                service_demand: 2.0,
+            })
+            .collect();
+        let mut cfg = SimConfig::paper(
+            StrategyKind::Gabl,
+            SchedulerKind::Fcfs,
+            WorkloadSpec::FixedTrace(Arc::new(jobs)),
+            3,
+        );
+        cfg.warmup_jobs = 10;
+        cfg.measured_jobs = 50;
+        let a = Simulator::new(&cfg, 0).run();
+        let b = Simulator::new(&cfg, 1).run();
+        assert_eq!(a.jobs, 50);
+        assert_eq!(b.jobs, 50);
+        assert_ne!(
+            (a.mean_turnaround, a.end_time),
+            (b.mean_turnaround, b.end_time),
+            "replications of a short trace must not be identical"
+        );
     }
 
     #[test]

@@ -17,13 +17,18 @@
 //!
 //! Both classes are normalized into a stream of [`JobSpec`]s; the system
 //! load is controlled by the arrival-rate parameter for stochastic
-//! workloads and by the paper's arrival-scaling factor `f` for traces.
+//! workloads and by the paper's arrival-scaling factor `f` for traces
+//! (wrapped, for genuine SWF files, by [`TraceWorkload`] which targets an
+//! *offered load* — see `docs/WORKLOADS.md`).
+
+#![warn(missing_docs)]
 
 pub mod cm5;
 pub mod paragon;
 pub mod stats;
 pub mod stochastic;
 pub mod swf;
+pub mod trace;
 
 use desim::Time;
 use serde::{Deserialize, Serialize};
@@ -32,7 +37,8 @@ pub use cm5::Cm5Model;
 pub use paragon::{factor_for_load, load_for_factor, trace_to_jobs, ParagonModel, TraceRecord};
 pub use stats::{summarize, TraceSummary};
 pub use stochastic::{SideDist, StochasticGen};
-pub use swf::{parse_swf, write_swf};
+pub use swf::{parse_swf, write_swf, SwfError, SwfErrorKind};
+pub use trace::{TraceError, TraceWorkload};
 
 /// One job as consumed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

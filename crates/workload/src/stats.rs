@@ -7,6 +7,7 @@ use crate::TraceRecord;
 /// Summary statistics of a trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSummary {
+    /// Number of jobs in the trace.
     pub jobs: usize,
     /// Mean inter-arrival time (seconds).
     pub mean_interarrival_s: f64,
@@ -15,6 +16,7 @@ pub struct TraceSummary {
     pub interarrival_cv: f64,
     /// Mean job size (nodes).
     pub mean_size: f64,
+    /// Largest job size (nodes).
     pub max_size: u32,
     /// Fraction of jobs whose size is a power of two.
     pub pow2_fraction: f64,

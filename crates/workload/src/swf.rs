@@ -5,16 +5,86 @@
 //! comment lines starting with `;`. We consume the fields the simulator
 //! needs — submit time (2), run time (4), allocated processors (5), with
 //! requested processors (8) as a fallback — and ignore the rest, so any
-//! archive trace loads unchanged.
+//! archive trace loads unchanged. The field subset and the load-scaling
+//! math built on top of it are documented in `docs/WORKLOADS.md`.
 
 use crate::TraceRecord;
+
+/// Archive names of the SWF fields this parser touches, indexed by
+/// 0-based field position (used in error messages).
+const FIELD_NAMES: [(usize, &str); 4] = [
+    (1, "submit time"),
+    (3, "run time"),
+    (4, "allocated processors"),
+    (7, "requested processors"),
+];
+
+fn field_name(index: usize) -> &'static str {
+    FIELD_NAMES
+        .iter()
+        .find(|(i, _)| *i == index)
+        .map(|(_, n)| *n)
+        .unwrap_or("unknown field")
+}
+
+/// What went wrong on a malformed SWF line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfErrorKind {
+    /// The line has fewer whitespace-separated fields than the parser
+    /// needs (at least 8: through "requested processors").
+    TooFewFields {
+        /// Fields actually present on the line.
+        got: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based SWF field number (2 = submit time, 4 = run time,
+        /// 5 = allocated processors, 8 = requested processors).
+        field: usize,
+        /// Archive name of the field, for human-readable messages.
+        name: &'static str,
+        /// The offending token, verbatim.
+        value: String,
+    },
+}
+
+/// Error from [`parse_swf`]: the offending line and what was wrong with
+/// it. Renders as e.g.
+/// `SWF line 12: field 2 (submit time): invalid number "x"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError {
+    /// 1-based line number in the input text (counting comment and blank
+    /// lines, so it matches what an editor shows).
+    pub line: usize,
+    /// What was malformed.
+    pub kind: SwfErrorKind,
+}
+
+impl core::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.kind {
+            SwfErrorKind::TooFewFields { got } => write!(
+                f,
+                "SWF line {}: expected >= 8 fields, got {}",
+                self.line, got
+            ),
+            SwfErrorKind::BadField { field, name, value } => write!(
+                f,
+                "SWF line {}: field {} ({}): invalid number {:?}",
+                self.line, field, name, value
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
 
 /// Parses SWF text into trace records.
 ///
 /// Jobs with unknown (negative) size or runtime and zero-size jobs are
 /// skipped, as is conventional when replaying archive traces. Returns an
-/// error string describing the first malformed non-comment line.
-pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// [`SwfError`] locating the first malformed non-comment line.
+pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, SwfError> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -23,16 +93,26 @@ pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, String> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 8 {
-            return Err(format!(
-                "line {}: expected >= 8 SWF fields, got {}",
-                lineno + 1,
-                fields.len()
-            ));
+            return Err(SwfError {
+                line: lineno + 1,
+                kind: SwfErrorKind::TooFewFields { got: fields.len() },
+            });
         }
-        let parse = |i: usize| -> Result<f64, String> {
+        let parse = |i: usize| -> Result<f64, SwfError> {
+            // f64::parse accepts "inf"/"nan", which would silently corrupt
+            // the span/work statistics downstream — treat them as malformed
             fields[i]
                 .parse::<f64>()
-                .map_err(|e| format!("line {}: field {}: {}", lineno + 1, i + 1, e))
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| SwfError {
+                    line: lineno + 1,
+                    kind: SwfErrorKind::BadField {
+                        field: i + 1,
+                        name: field_name(i),
+                        value: fields[i].to_string(),
+                    },
+                })
         };
         let submit = parse(1)?;
         let runtime = parse(3)?;
@@ -53,6 +133,10 @@ pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, String> {
 }
 
 /// Serializes records as minimal SWF (unknown fields written as -1).
+///
+/// Times are written as whole seconds, so a [`parse_swf`] round-trip is
+/// exact for integral-second records (the property test
+/// `crates/workload/tests/swf_roundtrip.rs` pins this down).
 pub fn write_swf(records: &[TraceRecord]) -> String {
     let mut s = String::with_capacity(records.len() * 64);
     s.push_str("; synthetic trace written by procsim workload crate\n");
@@ -99,9 +183,89 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed() {
-        assert!(parse_swf("1 2 3\n").is_err());
-        assert!(parse_swf("1 x 3 4 5 6 7 8\n").is_err());
+    fn short_line_reports_position() {
+        let err = parse_swf("1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.kind, SwfErrorKind::TooFewFields { got: 3 });
+        // comment and blank lines still count toward the line number
+        let err = parse_swf("; header\n\n1 0 5 100 32 -1 -1 32\n1 2 3\n").unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn malformed_submit_time() {
+        let err = parse_swf("1 x 3 100 32 -1 -1 32\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(
+            err.kind,
+            SwfErrorKind::BadField {
+                field: 2,
+                name: "submit time",
+                value: "x".into()
+            }
+        );
+        assert!(err.to_string().contains("line 1"));
+        assert!(err.to_string().contains("submit time"));
+    }
+
+    #[test]
+    fn malformed_run_time() {
+        let err = parse_swf("; ok\n1 0 3 ?? 32 -1 -1 32\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(
+            err.kind,
+            SwfErrorKind::BadField {
+                field: 4,
+                name: "run time",
+                value: "??".into()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_allocated_processors() {
+        let err = parse_swf("1 0 3 100 n/a -1 -1 32\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(
+            err.kind,
+            SwfErrorKind::BadField {
+                field: 5,
+                name: "allocated processors",
+                value: "n/a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requested_processors() {
+        // field 8 is only consulted when field 5 is unknown (<= 0)
+        let err = parse_swf("1 0 3 100 -1 -1 -1 bad\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(
+            err.kind,
+            SwfErrorKind::BadField {
+                field: 8,
+                name: "requested processors",
+                value: "bad".into()
+            }
+        );
+        // ... and ignored (even if malformed) when field 5 is usable
+        assert!(parse_swf("1 0 3 100 32 -1 -1 bad\n").is_ok());
+    }
+
+    #[test]
+    fn non_finite_fields_rejected() {
+        for token in ["inf", "-inf", "nan", "NaN"] {
+            let err = parse_swf(&format!("1 {token} 3 100 32 -1 -1 32\n")).unwrap_err();
+            assert_eq!(err.line, 1, "{token}");
+            assert!(
+                matches!(err.kind, SwfErrorKind::BadField { field: 2, .. }),
+                "{token}: {err}"
+            );
+        }
+        // ... in any consumed field
+        let err = parse_swf("1 0 3 100 nan -1 -1 32\n").unwrap_err();
+        assert!(matches!(err.kind, SwfErrorKind::BadField { field: 5, .. }));
     }
 
     #[test]

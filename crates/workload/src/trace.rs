@@ -1,0 +1,394 @@
+//! Trace-driven job source: replay an archive trace at a controllable
+//! offered load.
+//!
+//! [`TraceWorkload`] wraps a parsed trace ([`TraceRecord`]s, e.g. from
+//! [`crate::swf::parse_swf`]) together with the two statistics that the
+//! load-scaling math needs — the mean inter-arrival time and the mean
+//! *work* per job (processor-seconds) — and converts a target **offered
+//! load** into the paper's arrival-scaling factor `f`:
+//!
+//! A trace's native offered load on a `P`-processor machine is
+//!
+//! ```text
+//! rho = E[size x runtime] / (P x mean_interarrival)
+//! ```
+//!
+//! — the fraction of machine capacity the jobs would occupy if each ran
+//! for its recorded runtime. Multiplying every submit time by `f`
+//! stretches (`f > 1`) or compresses (`f < 1`) the arrival process, so
+//! `rho(f) = rho_native / f`. Hitting a target `rho*` therefore needs
+//!
+//! ```text
+//! f = rho_native / rho*
+//!   = E[work] / (P x mean_interarrival x rho*)
+//!   = factor_for_load(mean_interarrival, rho* x P / E[work])
+//! ```
+//!
+//! i.e. the offered-load target is the paper's job-arrival-rate load
+//! `lambda = rho* x P / E[work]` fed to [`factor_for_load`]. The full
+//! derivation, worked against the checked-in sample trace, is in
+//! `docs/WORKLOADS.md`.
+
+use crate::swf::SwfError;
+use crate::{factor_for_load, trace_to_jobs, JobSpec, TraceRecord};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key for one scaled conversion: mesh dims plus the bit patterns
+/// of (rho, runtime_scale).
+type ScaleKey = (u16, u16, u64, u64);
+
+/// Error constructing a [`TraceWorkload`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The SWF text failed to parse (carries the offending line).
+    Swf(SwfError),
+    /// The trace has fewer than two usable jobs, so it has no
+    /// inter-arrival process to scale.
+    TooShort(usize),
+    /// Every job in the trace carries the same submit time, so the
+    /// arrival span is zero and load scaling is undefined.
+    ZeroSpan,
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Swf(e) => e.fmt(f),
+            TraceError::TooShort(n) => {
+                write!(f, "trace has {n} usable jobs; need at least 2")
+            }
+            TraceError::ZeroSpan => {
+                write!(f, "all jobs share one submit time; cannot scale arrivals")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<SwfError> for TraceError {
+    fn from(e: SwfError) -> Self {
+        TraceError::Swf(e)
+    }
+}
+
+/// A trace ready for replay at a controllable offered load.
+///
+/// Construct from records ([`TraceWorkload::new`]) or straight from SWF
+/// text ([`TraceWorkload::from_swf`]); then either ask for the scaling
+/// factor ([`TraceWorkload::factor_for_offered_load`]) or for finished
+/// simulator jobs ([`TraceWorkload::jobs_at_load`]).
+#[derive(Debug)]
+pub struct TraceWorkload {
+    records: Vec<TraceRecord>,
+    mean_interarrival_s: f64,
+    mean_work: f64,
+    /// Memo of [`TraceWorkload::jobs_at_load_shared`] conversions: the
+    /// scaled stream is a pure function of (trace, mesh, rho, scale), so
+    /// the replications of a point — and all strategies replaying the
+    /// same trace at the same load — share one `Arc`'d stream instead of
+    /// re-deriving it per `Simulator`.
+    scaled: Mutex<HashMap<ScaleKey, Arc<Vec<JobSpec>>>>,
+}
+
+impl Clone for TraceWorkload {
+    fn clone(&self) -> Self {
+        TraceWorkload {
+            records: self.records.clone(),
+            mean_interarrival_s: self.mean_interarrival_s,
+            mean_work: self.mean_work,
+            scaled: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Equality is over the trace itself; the conversion memo is invisible.
+impl PartialEq for TraceWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
+}
+
+impl TraceWorkload {
+    /// Wraps a record stream. Records are (stably) sorted by submit time
+    /// — SWF files are normally ordered already, but real archive logs
+    /// occasionally are not, and an unsorted stream would corrupt the
+    /// span-based statistics below. Fails if fewer than two jobs remain
+    /// (no inter-arrival process to scale).
+    pub fn new(mut records: Vec<TraceRecord>) -> Result<Self, TraceError> {
+        if records.len() < 2 {
+            return Err(TraceError::TooShort(records.len()));
+        }
+        records.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+        let n = records.len() as f64;
+        let span = (records.last().unwrap().submit_s - records[0].submit_s).max(0.0);
+        let mean_interarrival_s = span / (n - 1.0);
+        if mean_interarrival_s <= 0.0 {
+            return Err(TraceError::ZeroSpan);
+        }
+        let mean_work = records
+            .iter()
+            .map(|r| r.size as f64 * r.runtime_s)
+            .sum::<f64>()
+            / n;
+        Ok(TraceWorkload {
+            records,
+            mean_interarrival_s,
+            mean_work,
+            scaled: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Parses SWF text and wraps the result.
+    pub fn from_swf(text: &str) -> Result<Self, TraceError> {
+        let records = crate::swf::parse_swf(text)?;
+        TraceWorkload::new(records)
+    }
+
+    /// The wrapped records, sorted by submit time.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of usable jobs (always >= 2).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always `false` (construction requires >= 2 jobs); present because
+    /// clippy expects it next to [`TraceWorkload::len`].
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean inter-arrival time in seconds, measured over the trace span.
+    pub fn mean_interarrival_s(&self) -> f64 {
+        self.mean_interarrival_s
+    }
+
+    /// Mean work per job in processor-seconds: `E[size x runtime]`.
+    pub fn mean_work(&self) -> f64 {
+        self.mean_work
+    }
+
+    /// The trace's native offered load on a machine of `machine_size`
+    /// processors: `E[work] / (P x mean_interarrival)` — the fraction of
+    /// machine capacity occupied if every job ran for its recorded
+    /// runtime. Can exceed 1 for traces logged on a bigger machine.
+    pub fn offered_load(&self, machine_size: u32) -> f64 {
+        assert!(machine_size > 0);
+        self.mean_work / (machine_size as f64 * self.mean_interarrival_s)
+    }
+
+    /// The job-arrival-rate load (jobs per second) equivalent to offered
+    /// load `rho` on `machine_size` processors: `rho x P / E[work]`.
+    /// This is the `load` argument [`factor_for_load`] expects.
+    pub fn arrival_load(&self, machine_size: u32, rho: f64) -> f64 {
+        assert!(rho > 0.0, "offered load must be positive");
+        rho * machine_size as f64 / self.mean_work
+    }
+
+    /// The arrival-scaling factor `f` that makes this trace's offered
+    /// load on `machine_size` processors equal `rho` (`f < 1` compresses
+    /// arrivals — higher load; `f > 1` stretches them). Built on
+    /// [`factor_for_load`]: `f = factor_for_load(mean_ia, arrival_load)`.
+    pub fn factor_for_offered_load(&self, machine_size: u32, rho: f64) -> f64 {
+        factor_for_load(self.mean_interarrival_s, self.arrival_load(machine_size, rho))
+    }
+
+    /// Converts the trace into simulator jobs at offered load `rho` on a
+    /// `mesh_w x mesh_l` mesh, mapping runtimes to per-processor message
+    /// counts via `runtime_scale` (seconds per message) as in
+    /// [`trace_to_jobs`].
+    pub fn jobs_at_load(
+        &self,
+        mesh_w: u16,
+        mesh_l: u16,
+        rho: f64,
+        runtime_scale: f64,
+    ) -> Vec<JobSpec> {
+        let machine = mesh_w as u32 * mesh_l as u32;
+        let f = self.factor_for_offered_load(machine, rho);
+        trace_to_jobs(&self.records, mesh_w, mesh_l, f, runtime_scale)
+    }
+
+    /// Caps a per-replication `(warmup, measured)` job budget to one
+    /// pass over this trace (a replication replays the stream at most
+    /// once). Returns the budget unchanged when it fits; otherwise
+    /// shrinks it to a 1:4 warmup:measured split of the trace length.
+    /// Front-ends share this policy (and should warn when the result
+    /// differs from what was asked).
+    pub fn capped_budget(&self, warmup: usize, measured: usize) -> (usize, usize) {
+        if warmup + measured <= self.len() {
+            (warmup, measured)
+        } else {
+            let w = (self.len() / 5).max(1);
+            (w, self.len() - w)
+        }
+    }
+
+    /// [`TraceWorkload::jobs_at_load`] behind a memo: repeated calls with
+    /// the same arguments (every replication of a point, every strategy
+    /// sharing the trace) return the same `Arc`'d stream, so an archive
+    /// trace is converted once per (mesh, load, scale), not once per
+    /// simulator.
+    pub fn jobs_at_load_shared(
+        &self,
+        mesh_w: u16,
+        mesh_l: u16,
+        rho: f64,
+        runtime_scale: f64,
+    ) -> Arc<Vec<JobSpec>> {
+        let key = (mesh_w, mesh_l, rho.to_bits(), runtime_scale.to_bits());
+        let mut cache = self.scaled.lock().expect("scaled-trace cache lock");
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(self.jobs_at_load(mesh_w, mesh_l, rho, runtime_scale)))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_for_factor;
+
+    fn flat_trace(n: usize, gap: f64, size: u32, runtime: f64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                submit_s: i as f64 * gap,
+                size,
+                runtime_s: runtime,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_traces() {
+        assert_eq!(TraceWorkload::new(vec![]), Err(TraceError::TooShort(0)));
+        assert_eq!(
+            TraceWorkload::new(flat_trace(1, 10.0, 4, 5.0)),
+            Err(TraceError::TooShort(1))
+        );
+        // simultaneous arrivals: no inter-arrival process
+        assert_eq!(
+            TraceWorkload::new(flat_trace(5, 0.0, 4, 5.0)),
+            Err(TraceError::ZeroSpan)
+        );
+    }
+
+    #[test]
+    fn from_swf_propagates_position() {
+        let err = TraceWorkload::from_swf("1 bad 3 100 32 -1 -1 32\n").unwrap_err();
+        match err {
+            TraceError::Swf(e) => assert_eq!(e.line, 1),
+            other => panic!("expected Swf error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_records_are_normalized() {
+        let mut recs = flat_trace(10, 50.0, 10, 100.0);
+        recs.reverse();
+        let unsorted = TraceWorkload::new(recs).unwrap();
+        let sorted = TraceWorkload::new(flat_trace(10, 50.0, 10, 100.0)).unwrap();
+        assert_eq!(unsorted, sorted);
+        assert!((unsorted.mean_interarrival_s() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_load_hand_computed() {
+        // 100 jobs, one every 50 s, 10 procs x 100 s each => work 1000
+        // proc-s per job; on 100 procs: rho = 1000 / (100 * 50) = 0.2
+        let w = TraceWorkload::new(flat_trace(100, 50.0, 10, 100.0)).unwrap();
+        assert!((w.mean_interarrival_s() - 50.0).abs() < 1e-9);
+        assert!((w.mean_work() - 1000.0).abs() < 1e-9);
+        assert!((w.offered_load(100) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_round_trips_through_load_for_factor() {
+        let w = TraceWorkload::new(flat_trace(100, 50.0, 10, 100.0)).unwrap();
+        for rho in [0.2, 0.5, 0.7, 1.0] {
+            let f = w.factor_for_offered_load(100, rho);
+            // factor_for_load and load_for_factor are inverses...
+            let lambda = w.arrival_load(100, rho);
+            assert!((load_for_factor(w.mean_interarrival_s(), f) - lambda).abs() < 1e-12);
+            // ...and scaling submit times by f realizes the target rho
+            let scaled: Vec<TraceRecord> = w
+                .records()
+                .iter()
+                .map(|r| TraceRecord {
+                    submit_s: r.submit_s * f,
+                    ..*r
+                })
+                .collect();
+            let rescaled = TraceWorkload::new(scaled).unwrap();
+            assert!(
+                (rescaled.offered_load(100) - rho).abs() < 1e-9,
+                "target {rho} realized {}",
+                rescaled.offered_load(100)
+            );
+        }
+    }
+
+    #[test]
+    fn native_load_means_factor_one() {
+        let w = TraceWorkload::new(flat_trace(60, 30.0, 7, 90.0)).unwrap();
+        let native = w.offered_load(352);
+        assert!((w.factor_for_offered_load(352, native) - 1.0).abs() < 1e-12);
+        // halving the load doubles the factor (stretches arrivals)
+        assert!((w.factor_for_offered_load(352, native / 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_budget_limits_to_one_pass() {
+        let w = TraceWorkload::new(flat_trace(100, 10.0, 4, 20.0)).unwrap();
+        // fits: unchanged
+        assert_eq!(w.capped_budget(20, 80), (20, 80));
+        assert_eq!(w.capped_budget(10, 40), (10, 40));
+        // does not fit: 1:4 split of the trace length
+        assert_eq!(w.capped_budget(100, 400), (20, 80));
+        assert_eq!(w.capped_budget(1, 100), (20, 80));
+        // tiny trace: warmup never reaches 0
+        let tiny = TraceWorkload::new(flat_trace(3, 10.0, 4, 20.0)).unwrap();
+        assert_eq!(tiny.capped_budget(10, 400), (1, 2));
+    }
+
+    #[test]
+    fn shared_conversion_is_memoized() {
+        let w = TraceWorkload::new(flat_trace(40, 80.0, 5, 200.0)).unwrap();
+        let a = w.jobs_at_load_shared(16, 22, 0.7, 360.0);
+        let b = w.jobs_at_load_shared(16, 22, 0.7, 360.0);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one stream");
+        assert_eq!(*a, w.jobs_at_load(16, 22, 0.7, 360.0));
+        let c = w.jobs_at_load_shared(16, 22, 0.9, 360.0);
+        assert!(!Arc::ptr_eq(&a, &c), "different load, different stream");
+        // clones start with a cold cache but equal content
+        let clone = w.clone();
+        assert_eq!(clone, w);
+        assert_eq!(*clone.jobs_at_load_shared(16, 22, 0.7, 360.0), *a);
+    }
+
+    #[test]
+    fn jobs_at_load_scales_arrivals() {
+        let w = TraceWorkload::new(flat_trace(50, 100.0, 6, 360.0)).unwrap();
+        let native = w.offered_load(352);
+        let jobs_native = w.jobs_at_load(16, 22, native, 360.0);
+        let jobs_double = w.jobs_at_load(16, 22, native * 2.0, 360.0);
+        assert_eq!(jobs_native.len(), 50);
+        // doubling the load halves every arrival time
+        let last_n = jobs_native.last().unwrap().arrive;
+        let last_d = jobs_double.last().unwrap().arrive;
+        assert!(
+            (last_n as f64 / last_d as f64 - 2.0).abs() < 0.01,
+            "native {last_n} double {last_d}"
+        );
+        // shapes and message counts are untouched by load scaling
+        for (a, b) in jobs_native.iter().zip(&jobs_double) {
+            assert_eq!((a.a, a.b), (b.a, b.b));
+            assert_eq!(a.msgs_per_node, b.msgs_per_node);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests of the SWF writer/parser pair: `parse_swf(write_swf(r))`
+//! must reproduce `r` exactly for any stream of integral-second records
+//! (the writer emits whole seconds), and the `TraceWorkload` built from
+//! either side must agree.
+
+use proptest::prelude::*;
+use workload::{parse_swf, write_swf, TraceRecord, TraceWorkload};
+
+/// Arbitrary *valid* record: integral times (the writer's resolution),
+/// positive size and runtime.
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (0u32..2_000_000u32, 1u32..=512u32, 1u32..=200_000u32).prop_map(|(submit, size, rt)| {
+        TraceRecord {
+            submit_s: submit as f64,
+            size,
+            runtime_s: rt as f64,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn swf_round_trip_is_exact(recs in proptest::collection::vec(arb_record(), 1..60)) {
+        let text = write_swf(&recs);
+        let back = parse_swf(&text).unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable(recs in proptest::collection::vec(arb_record(), 1..40)) {
+        // write -> parse -> write must be byte-identical (fixed point)
+        let once = write_swf(&recs);
+        let twice = write_swf(&parse_swf(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn trace_workload_agrees_across_round_trip(
+        mut recs in proptest::collection::vec(arb_record(), 2..40),
+        gap in 1u32..10_000u32,
+    ) {
+        // a workload needs a proper arrival process: space the records out
+        recs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+        for (i, r) in recs.iter_mut().enumerate() {
+            r.submit_s += i as f64 * gap as f64;
+        }
+        let direct = TraceWorkload::new(recs.clone()).unwrap();
+        let via_swf = TraceWorkload::from_swf(&write_swf(&recs)).unwrap();
+        prop_assert_eq!(&direct, &via_swf);
+        let f_direct = direct.factor_for_offered_load(352, 0.7);
+        let f_swf = via_swf.factor_for_offered_load(352, 0.7);
+        prop_assert!((f_direct - f_swf).abs() < 1e-12);
+    }
+}

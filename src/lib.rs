@@ -52,8 +52,8 @@ pub use mesh_sched::{Fcfs, QueuedJob, Scheduler, SchedulerKind, Ssd};
 pub use simstats::{student_t_95, Histogram, Replications, StopReason, TimeWeighted, Welford};
 pub use workload::{
     factor_for_load, load_for_factor, parse_swf, shape_for_size, summarize, trace_to_jobs,
-    write_swf, Cm5Model, JobSpec, ParagonModel, SideDist, StochasticGen, TraceRecord,
-    TraceSummary,
+    write_swf, Cm5Model, JobSpec, ParagonModel, SideDist, StochasticGen, SwfError, SwfErrorKind,
+    TraceError, TraceRecord, TraceSummary, TraceWorkload,
 };
 
 // --- the integrated simulator ----------------------------------------------

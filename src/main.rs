@@ -8,18 +8,25 @@
 //!               [--load 0.0008] [--jobs 400] [--seed 42]
 //!               [--torus] [--reps N] [--threads N]
 //! procsim sweep [same flags] --loads 0.0002,0.0004,0.0008
-//! procsim trace <file.swf> [--factor 0.25] [--scale 360]
+//! procsim trace <file.swf> [--load 0.7] [--strategy S|all] [--scheduler P]
+//!               [--scale 360] [--jobs N] [--reps R] [--seed K] [--csv PATH]
+//! procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]
 //! ```
 //!
-//! Replications run in parallel on the shared worker pool; `--threads N`
-//! (or the `PROCSIM_THREADS` environment variable) sets its size. The
-//! thread count never changes results, only wall-clock time.
+//! `trace` replays an SWF archive file at a target **offered load**
+//! (`--load 0.7` = the scaled trace occupies 70 % of machine capacity in
+//! its own time domain; see `docs/WORKLOADS.md` for the math) and writes
+//! one CSV row per (strategy, load) point. Replications run in parallel
+//! on the shared worker pool; `--threads N` (or the `PROCSIM_THREADS`
+//! environment variable) sets its size. The thread count never changes
+//! results, only wall-clock time.
 
 use procsim::{
-    parse_swf, run_point, run_points, summarize, trace_to_jobs, Cm5Model, PageIndexing,
-    ParagonModel, SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind, TopologyKind,
-    WorkloadSpec,
+    derive_seed, run_point, run_points, summarize, trace_to_jobs, Cm5Model, PageIndexing,
+    ParagonModel, PointResult, SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind,
+    TopologyKind, TraceWorkload, WorkloadSpec,
 };
+use std::io::Write;
 use std::sync::Arc;
 
 struct Args {
@@ -152,6 +159,203 @@ fn print_point(cfg: &SimConfig, reps: usize) {
     print_result(&run_point(cfg, reps.max(2), reps.max(2) * 2));
 }
 
+/// Stable per-strategy substream index for [`derive_seed`] (FNV-1a over
+/// the series label): a strategy's random streams are identical whether
+/// it runs alone (`--strategy mbs`) or inside `--strategy all`, so
+/// single-strategy runs reproduce the matching row of an all-strategies
+/// CSV.
+fn strategy_stream(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// `procsim trace <file.swf>`: replay an SWF trace at a target offered
+/// load. Every (strategy) series is one experimental point; all points'
+/// replications run as a single batch on the shared worker pool, so the
+/// CSV is bit-identical at any thread count.
+fn run_trace(a: &Args, reps: usize) {
+    let path = a
+        .positional
+        .first()
+        .unwrap_or_else(|| die("trace needs a .swf file path"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let trace = TraceWorkload::from_swf(&text).unwrap_or_else(|e| die(&e.to_string()));
+    let (mesh_w, mesh_l) = procsim::PAPER_MESH;
+    let machine = mesh_w as u32 * mesh_l as u32;
+    match summarize(trace.records()) {
+        Some(s) => println!("{s}"),
+        None => die("trace too short"),
+    }
+    println!(
+        "native offered load: {:.3} (on {} processors)\n",
+        trace.offered_load(machine),
+        machine
+    );
+
+    if a.map.contains_key("factor") || a.flags.iter().any(|f| f == "factor") {
+        // the pre-offered-load flag; ignoring it silently would replay at
+        // a different load than the caller asked for
+        die(
+            "--factor was replaced by --load (target offered load, e.g. 0.7); \
+             a factor f corresponds to --load <native_load / f> — see docs/WORKLOADS.md",
+        );
+    }
+    let load: f64 = a
+        .map
+        .get("load")
+        .map(|s| s.parse().expect("bad --load"))
+        .unwrap_or(0.7);
+    // `!(x > 0.0)` also rejects NaN, which `x <= 0.0` would let through
+    if !(load > 0.0 && load.is_finite()) {
+        die("--load must be a positive number (offered-load fraction, e.g. 0.7)");
+    }
+    let scale: f64 = a
+        .map
+        .get("scale")
+        .map(|s| s.parse().expect("bad --scale"))
+        .unwrap_or(360.0);
+    if !(scale > 0.0 && scale.is_finite()) {
+        die("--scale must be a positive number (seconds of runtime per message)");
+    }
+    let factor = trace.factor_for_offered_load(machine, load);
+    println!(
+        "replaying at offered load {load} (arrival-scaling factor f = {factor:.4}, f < 1 compresses)\n"
+    );
+
+    let strategies: Vec<StrategyKind> = match a.map.get("strategy").map(|s| s.as_str()) {
+        None | Some("all") => StrategyKind::PAPER.to_vec(),
+        Some(name) => vec![strategy_of(name)],
+    };
+    let scheduler = scheduler_of(a.map.get("scheduler").map(|s| s.as_str()).unwrap_or("fcfs"));
+    let seed: u64 = a.map.get("seed").map(|s| s.parse().expect("bad --seed")).unwrap_or(42);
+    let req_jobs: usize = a.map.get("jobs").map(|s| s.parse().expect("bad --jobs")).unwrap_or(400);
+    // a replication only sees trace.len() arrivals (the segment wraps the
+    // stream exactly once), so cap warmup + measurement to what the trace
+    // can feed
+    let req_warmup = (req_jobs / 4).max(10);
+    let (warmup, jobs) = trace.capped_budget(req_warmup, req_jobs);
+    if (warmup, jobs) != (req_warmup, req_jobs) {
+        eprintln!(
+            "warning: trace has only {} jobs; measuring {jobs} after {warmup} warmup",
+            trace.len()
+        );
+    }
+
+    let trace = Arc::new(trace);
+    let cfgs: Vec<SimConfig> = strategies
+        .iter()
+        .map(|&strategy| {
+            let mut cfg = SimConfig::paper(
+                strategy,
+                scheduler,
+                WorkloadSpec::Trace {
+                    trace: trace.clone(),
+                    load,
+                    runtime_scale: scale,
+                },
+                derive_seed(seed, strategy_stream(&strategy.to_string())),
+            );
+            cfg.measured_jobs = jobs;
+            cfg.warmup_jobs = warmup;
+            cfg
+        })
+        .collect();
+    // one batch: every strategy's replications share the worker pool
+    let points = run_points(&cfgs, reps.max(2), reps.max(2) * 2);
+    for p in &points {
+        print_result(p);
+    }
+
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".into());
+    let csv_path = a
+        .map
+        .get("csv")
+        .cloned()
+        .unwrap_or_else(|| format!("results/trace_{stem}.csv"));
+    match write_trace_csv(&csv_path, &stem, factor, &points) {
+        Ok(()) => eprintln!("wrote {csv_path}"),
+        Err(e) => die(&format!("cannot write {csv_path}: {e}")),
+    }
+}
+
+/// Writes the trace-replay CSV: one row per (series, load) point, full
+/// float precision (shortest round-trip representation), so files diff
+/// cleanly across runs and thread counts.
+fn write_trace_csv(
+    path: &str,
+    trace_name: &str,
+    factor: f64,
+    points: &[PointResult],
+) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "trace,series,load,factor,reps,turnaround,service,utilization,blocking,latency,fragments,\
+         ci_turnaround,ci_service,ci_utilization,ci_blocking,ci_latency,ci_fragments"
+    )?;
+    for p in points {
+        write!(f, "{},{},{},{},{}", trace_name, p.label, p.load, factor, p.replications)?;
+        for m in p.means {
+            write!(f, ",{m}")?;
+        }
+        for c in p.ci95 {
+            write!(f, ",{c}")?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// `procsim gen-trace <out.swf>`: write a synthetic SWF fixture (the
+/// generator behind the checked-in sample; use larger `--jobs` for
+/// stress fixtures).
+fn run_gen_trace(a: &Args) {
+    let out = a
+        .positional
+        .first()
+        .unwrap_or_else(|| die("gen-trace needs an output .swf path"));
+    let model = a.map.get("model").map(|s| s.as_str()).unwrap_or("paragon");
+    let jobs: usize = a.map.get("jobs").map(|s| s.parse().expect("bad --jobs")).unwrap_or(600);
+    let seed: u64 = a.map.get("seed").map(|s| s.parse().expect("bad --seed")).unwrap_or(2008);
+    let mut rng = SimRng::new(seed);
+    let records = match model {
+        "paragon" => ParagonModel { jobs, ..Default::default() }.generate(&mut rng),
+        "cm5" => Cm5Model { jobs, ..Default::default() }.generate(&mut rng),
+        other => die(&format!("unknown model '{other}' (paragon or cm5)")),
+    };
+    let mut text = format!(
+        "; procsim synthetic SWF fixture (public domain: generated data, no production-log content)\n\
+         ; regenerate with: procsim gen-trace {out} --model {model} --jobs {jobs} --seed {seed}\n"
+    );
+    text.push_str(&procsim::write_swf(&records));
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir: {e}")));
+        }
+    }
+    std::fs::write(out, &text).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    let trace = TraceWorkload::from_swf(&text).expect("generated trace must parse");
+    let (mesh_w, mesh_l) = procsim::PAPER_MESH;
+    println!(
+        "wrote {out}: {} jobs ({model} model, seed {seed}), native offered load {:.3} on {mesh_w}x{mesh_l}",
+        trace.len(),
+        trace.offered_load(mesh_w as u32 * mesh_l as u32)
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().map(|s| s.as_str()).unwrap_or("help");
@@ -188,33 +392,8 @@ fn main() {
                 print_result(&p);
             }
         }
-        "trace" => {
-            let path = a
-                .positional
-                .first()
-                .unwrap_or_else(|| die("trace needs a .swf file path"));
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-            let recs = parse_swf(&text).unwrap_or_else(|e| die(&e));
-            match summarize(&recs) {
-                Some(s) => println!("{s}\n"),
-                None => die("trace too short"),
-            }
-            let factor: f64 = a.map.get("factor").map(|s| s.parse().expect("bad --factor")).unwrap_or(1.0);
-            let scale: f64 = a.map.get("scale").map(|s| s.parse().expect("bad --scale")).unwrap_or(360.0);
-            let jobs = Arc::new(trace_to_jobs(&recs, 16, 22, factor, scale));
-            for strategy in StrategyKind::PAPER {
-                let mut cfg = SimConfig::paper(
-                    strategy,
-                    SchedulerKind::Fcfs,
-                    WorkloadSpec::FixedTrace(jobs.clone()),
-                    42,
-                );
-                cfg.measured_jobs = 400.min(jobs.len().saturating_sub(100)).max(50);
-                cfg.warmup_jobs = (cfg.measured_jobs / 4).max(10);
-                print_point(&cfg, reps);
-            }
-        }
+        "trace" => run_trace(&a, reps),
+        "gen-trace" => run_gen_trace(&a),
         _ => {
             println!("procsim — 2D mesh processor allocation & scheduling simulator");
             println!("(IPDPS 2008 reproduction; see README.md)\n");
@@ -222,11 +401,16 @@ fn main() {
             println!("  procsim run   [--strategy S] [--scheduler P] [--workload W] [--load L]");
             println!("                [--jobs N] [--seed K] [--reps R] [--torus] [--threads T]");
             println!("  procsim sweep --loads a,b,c [same flags]");
-            println!("  procsim trace <file.swf> [--factor F] [--scale S]");
+            println!("  procsim trace <file.swf> [--load RHO] [--strategy S|all] [--scheduler P]");
+            println!("                [--scale S] [--jobs N] [--reps R] [--seed K] [--csv PATH]");
+            println!("  procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]");
             println!();
             println!("strategies: gabl paging0 paging1 mbs ff bf random mc");
             println!("schedulers: fcfs ssd sjf ljf easy");
             println!("workloads:  uniform exponential paragon cm5");
+            println!();
+            println!("trace --load is the target offered load (fraction of machine capacity");
+            println!("in trace time, e.g. 0.7); see docs/WORKLOADS.md for the scaling math");
             println!();
             println!("replications run on a shared worker pool; size it with --threads N");
             println!("or PROCSIM_THREADS=N (results are identical for any thread count)");
