@@ -1,0 +1,211 @@
+//! Figure-style mesh-vs-torus comparison — the paper's §6 future work
+//! ("assess the performance of the allocation strategies on other common
+//! multicomputer networks, such as torus networks") promoted to a
+//! first-class scenario.
+//!
+//! Sweeps system load across all paper strategies (GABL, Paging(0), MBS;
+//! FCFS) on the 16×22 **mesh** and the 16×22 **torus** (wraparound links,
+//! minimal dimension-ordered routing, dateline virtual channels). Each
+//! (strategy, load) point uses the *same* derived seed on both topologies,
+//! so a mesh point and its torus twin consume identical workload streams:
+//! the comparison is paired, and differences are topology, not noise.
+//!
+//! Expected physics (see `docs/TOPOLOGIES.md`): wraparound halves
+//! worst-case distances, so the penalty of a dispersed allocation shrinks
+//! and the strategies move closer together — contiguity matters most on
+//! the mesh.
+//!
+//! ```text
+//! cargo run --release -p procsim_bench --bin mesh_vs_torus [-- --full --threads N]
+//! cargo run --release -p procsim_bench --bin mesh_vs_torus -- --golden [--csv PATH]
+//! ```
+//!
+//! Output: table + ASCII chart on stdout (glyphs `G/P/M` = mesh,
+//! `g/p/m` = torus), full-precision CSV in `results/mesh_vs_torus.csv`
+//! (or `--csv PATH`). `--golden` pins the reduced fidelity of the
+//! checked-in `results/golden/mesh_vs_torus.csv` that CI diffs — see the
+//! regeneration protocol in `docs/TOPOLOGIES.md`.
+
+use procsim_bench::{ascii_chart, RunMode};
+use procsim_core::{
+    derive_seed, pool, run_points_on, PointResult, SchedulerKind, SideDist, SimConfig,
+    StrategyKind, TopologyKind, WorkloadSpec,
+};
+use std::io::Write;
+
+/// System loads (jobs per time unit), light load through saturation onset
+/// — the same operating regimes as the paper's figures (see the load-axis
+/// calibration note in the crate docs).
+const LOADS: &[f64] = &[0.0002, 0.0004, 0.0006, 0.0008, 0.001, 0.0012];
+
+/// Master seed; each (strategy, load) slot derives one substream shared
+/// by its mesh and torus twins.
+const SEED: u64 = 0x7025;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--topology") {
+        // this bin's whole point is to sweep both; accepting the flag
+        // and ignoring it would mislabel the results
+        eprintln!("error: mesh_vs_torus always runs both topologies; --topology is not applicable");
+        std::process::exit(2);
+    }
+    let mut mode = RunMode::from_args();
+    if args.iter().any(|a| a == "--golden") {
+        // the pinned fidelity of the checked-in golden CSV: small enough
+        // for a CI step, deterministic because min_reps == max_reps
+        mode.warmup = 30;
+        mode.measured = 120;
+        mode.min_reps = 2;
+        mode.max_reps = 2;
+    }
+    if let Some(n) = mode.threads {
+        let _ = pool::configure_global(n);
+    }
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            std::path::PathBuf::from(args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("error: --csv needs a path");
+                std::process::exit(2)
+            }))
+        })
+        .unwrap_or_else(|| {
+            std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"))
+                .join("mesh_vs_torus.csv")
+        });
+
+    let strategies = StrategyKind::PAPER;
+    // mesh series first, then torus, so the chart glyphs line up as
+    // G/P/M = mesh and g/p/m = torus
+    let series: Vec<(TopologyKind, StrategyKind)> = TopologyKind::ALL
+        .iter()
+        .flat_map(|&topo| strategies.iter().map(move |&s| (topo, s)))
+        .collect();
+    let series_labels: Vec<String> = series
+        .iter()
+        .map(|(topo, s)| format!("{s}/{topo}"))
+        .collect();
+
+    // row-major (series outer, loads inner); the seed slot deliberately
+    // ignores the topology so mesh/torus twins share workload streams
+    let cfgs: Vec<SimConfig> = series
+        .iter()
+        .flat_map(|&(topo, strat)| LOADS.iter().map(move |&load| (topo, strat, load)))
+        .map(|(topo, strat, load)| {
+            let slot = strategies.iter().position(|&s| s == strat).unwrap() * LOADS.len()
+                + LOADS.iter().position(|&l| l == load).unwrap();
+            let mut cfg = SimConfig::paper(
+                strat,
+                SchedulerKind::Fcfs,
+                WorkloadSpec::Stochastic {
+                    sides: SideDist::Uniform,
+                    load,
+                    num_mes: 5.0,
+                },
+                derive_seed(SEED, slot as u64),
+            );
+            cfg.topology = topo;
+            cfg.warmup_jobs = mode.warmup;
+            cfg.measured_jobs = mode.measured;
+            cfg
+        })
+        .collect();
+
+    eprintln!(
+        "mesh_vs_torus: {} points ({} series x {} loads), {} mode...",
+        cfgs.len(),
+        series_labels.len(),
+        LOADS.len(),
+        mode.label()
+    );
+    let t0 = std::time::Instant::now();
+    let pool = pool::pool_with(mode.threads);
+    let points = run_points_on(&pool, &cfgs, mode.min_reps, mode.max_reps);
+
+    // table: loads as rows, series as columns, headline = turnaround
+    println!("Mesh vs torus, uniform stochastic workload, FCFS — turnaround vs load\n");
+    print!("{:>10}", "load");
+    for lbl in &series_labels {
+        print!(" {lbl:>16}");
+    }
+    println!();
+    for (l, load) in LOADS.iter().enumerate() {
+        print!("{load:>10.5}");
+        for s in 0..series_labels.len() {
+            print!(" {:>16.1}", points[s * LOADS.len() + l].turnaround());
+        }
+        println!();
+    }
+
+    let chart_series: Vec<(String, Vec<f64>)> = series_labels
+        .iter()
+        .enumerate()
+        .map(|(s, lbl)| {
+            (
+                lbl.clone(),
+                (0..LOADS.len())
+                    .map(|l| points[s * LOADS.len() + l].turnaround())
+                    .collect(),
+            )
+        })
+        .collect();
+    println!(
+        "\n{}",
+        ascii_chart(
+            "turnaround vs load (mesh glyphs G/P/M, torus g/p/m)",
+            LOADS,
+            &chart_series,
+            64,
+            18
+        )
+    );
+
+    match write_csv(&csv_path, &series, &points) {
+        Ok(()) => eprintln!(
+            "wrote {} ({:.1}s)",
+            csv_path.display(),
+            t0.elapsed().as_secs_f64()
+        ),
+        Err(e) => {
+            eprintln!("CSV write failed: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// One row per (topology, strategy, load) point with all six response
+/// means and their CI half-widths, full float precision (shortest
+/// round-trip representation) so goldens diff cleanly.
+fn write_csv(
+    path: &std::path::Path,
+    series: &[(TopologyKind, StrategyKind)],
+    points: &[PointResult],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "topology,series,load,reps,turnaround,service,utilization,blocking,latency,fragments,\
+         ci_turnaround,ci_service,ci_utilization,ci_blocking,ci_latency,ci_fragments"
+    )?;
+    for (s, &(topo, _)) in series.iter().enumerate() {
+        for l in 0..LOADS.len() {
+            let p = &points[s * LOADS.len() + l];
+            write!(f, "{},{},{},{}", topo, p.label, p.load, p.replications)?;
+            for m in p.means {
+                write!(f, ",{m}")?;
+            }
+            for c in p.ci95 {
+                write!(f, ",{c}")?;
+            }
+            writeln!(f)?;
+        }
+    }
+    Ok(())
+}

@@ -5,7 +5,7 @@
 use crate::figures::{FigureSpec, WorkloadKind, TRACE_RUNTIME_SCALE};
 use procsim_core::{
     derive_seed, pool, run_points_on, PointResult, ParagonModel, SchedulerKind, SideDist,
-    SimConfig, StrategyKind, WorkloadSpec,
+    SimConfig, StrategyKind, TopologyKind, WorkloadSpec,
 };
 use std::io::Write;
 use std::path::Path;
@@ -30,6 +30,10 @@ pub struct RunMode {
     /// Worker threads (`--threads N`); `None` defers to the global pool's
     /// size (`PROCSIM_THREADS` or the machine's available parallelism).
     pub threads: Option<usize>,
+    /// Network topology (`--topology mesh|torus`); the paper's figures
+    /// are mesh, the torus re-runs them under the §6 scenario (the CSV
+    /// gains a `_torus` suffix so mesh results are never overwritten).
+    pub topology: TopologyKind,
 }
 
 impl RunMode {
@@ -41,6 +45,7 @@ impl RunMode {
             min_reps: 3,
             max_reps: 5,
             threads: None,
+            topology: TopologyKind::Mesh,
         }
     }
 
@@ -53,11 +58,13 @@ impl RunMode {
             min_reps: 5,
             max_reps: 20,
             threads: None,
+            topology: TopologyKind::Mesh,
         }
     }
 
     /// Parses the figure-binary command line: `--full` selects the
-    /// paper's protocol, `--threads N` pins the worker count.
+    /// paper's protocol, `--threads N` pins the worker count,
+    /// `--topology mesh|torus` selects the network.
     pub fn from_args() -> RunMode {
         let args: Vec<String> = std::env::args().collect();
         let mut mode = if args.iter().any(|a| a == "--full") {
@@ -75,6 +82,20 @@ impl RunMode {
                     std::process::exit(2)
                 });
             mode.threads = Some(n);
+        }
+        if let Some(i) = args.iter().position(|a| a == "--topology") {
+            mode.topology = args
+                .get(i + 1)
+                .map(|s| {
+                    s.parse::<TopologyKind>().unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2)
+                    })
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("error: --topology needs a value (mesh or torus)");
+                    std::process::exit(2)
+                });
         }
         mode
     }
@@ -98,6 +119,8 @@ impl RunMode {
 #[derive(Debug)]
 pub struct FigureData {
     pub spec: &'static FigureSpec,
+    /// Topology the figure was run on (mesh = the paper's protocol).
+    pub topology: TopologyKind,
     /// Row-major: series outer, loads inner, matching
     /// [`FigureData::series_labels`].
     pub points: Vec<PointResult>,
@@ -155,6 +178,7 @@ pub fn run_figure(spec: &'static FigureSpec, mode: RunMode, seed: u64) -> Figure
                 workload_spec(spec.workload, load),
                 derive_seed(seed, slot as u64),
             );
+            cfg.topology = mode.topology;
             cfg.warmup_jobs = mode.warmup;
             cfg.measured_jobs = mode.measured;
             cfg
@@ -166,6 +190,7 @@ pub fn run_figure(spec: &'static FigureSpec, mode: RunMode, seed: u64) -> Figure
 
     FigureData {
         spec,
+        topology: mode.topology,
         points,
         series_labels: series()
             .iter()
@@ -193,7 +218,10 @@ impl FigureData {
     /// columns), mirroring the paper's plotted curves.
     pub fn table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{}\n\n", self.spec.title()));
+        match self.topology {
+            TopologyKind::Mesh => out.push_str(&format!("{}\n\n", self.spec.title())),
+            topo => out.push_str(&format!("{} [{topo}]\n\n", self.spec.title())),
+        }
         out.push_str(&format!("{:>10}", "load"));
         for lbl in &self.series_labels {
             out.push_str(&format!(" {lbl:>16}"));
@@ -209,10 +237,15 @@ impl FigureData {
         out
     }
 
-    /// Writes `results/figNN.csv` with full metrics per point.
+    /// Writes `results/figNN.csv` with full metrics per point — or
+    /// `results/figNN_torus.csv` for a torus run, so the paper-protocol
+    /// mesh results are never overwritten by a §6 re-run.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("fig{:02}.csv", self.spec.id));
+        let path = dir.join(match self.topology {
+            TopologyKind::Mesh => format!("fig{:02}.csv", self.spec.id),
+            topo => format!("fig{:02}_{topo}.csv", self.spec.id),
+        });
         let mut f = std::fs::File::create(&path)?;
         writeln!(
             f,
@@ -254,6 +287,12 @@ impl FigureData {
 /// then go through [`run_sweep`] as one batch.
 pub fn ablation_args() -> bool {
     let mode = RunMode::from_args();
+    if mode.topology != TopologyKind::Mesh {
+        // the ablation/future-work bins build their own configs and
+        // would silently run mesh regardless; refuse rather than mislabel
+        eprintln!("error: this binary does not take --topology (its sweep fixes the topology)");
+        std::process::exit(2);
+    }
     if let Some(n) = mode.threads {
         if !procsim_core::pool::configure_global(n) {
             eprintln!("warning: global pool already sized; --threads {n} ignored");
@@ -292,8 +331,10 @@ pub fn run_sweep<T: Copy>(
 
 /// Shared main() of the per-figure binaries: run, print, save CSV.
 ///
-/// Recognized flags: `--full` (paper-grade fidelity) and `--threads N`
-/// (worker-pool size; defaults to `PROCSIM_THREADS` or all cores).
+/// Recognized flags: `--full` (paper-grade fidelity), `--threads N`
+/// (worker-pool size; defaults to `PROCSIM_THREADS` or all cores), and
+/// `--topology mesh|torus` (the §6 torus re-run of a figure; its CSV is
+/// suffixed `_torus` so the mesh results survive).
 pub fn run_figure_main(id: u8) {
     let mode = RunMode::from_args();
     if let Some(n) = mode.threads {
@@ -304,8 +345,9 @@ pub fn run_figure_main(id: u8) {
     }
     let spec = crate::figures::figure(id);
     eprintln!(
-        "running figure {id} in {} mode ({} points, {} worker threads)...",
+        "running figure {id} in {} mode on the {} ({} points, {} worker threads)...",
         mode.label(),
+        mode.topology,
         spec.loads.len() * 6,
         mode.threads.unwrap_or_else(pool::default_threads)
     );
@@ -421,8 +463,39 @@ mod tests {
         assert_eq!(f.measured, 1000, "paper protocol: 1000 measured jobs");
         assert_eq!((f.min_reps, f.max_reps), (5, 20));
         assert_eq!(q.threads, None);
+        assert_eq!(q.topology, TopologyKind::Mesh, "paper protocol is mesh");
         assert_eq!(q.label(), "quick");
         assert_eq!(f.label(), "full");
+    }
+
+    #[test]
+    fn torus_figure_is_labelled_and_separately_named() {
+        static TINY: FigureSpec = FigureSpec {
+            id: 97,
+            metric: Metric::Turnaround,
+            workload: WorkloadKind::StochasticUniform,
+            loads: &[0.001],
+        };
+        let mut mode = RunMode::quick();
+        mode.warmup = 5;
+        mode.measured = 40;
+        mode.min_reps = 2;
+        mode.max_reps = 2;
+        mode.topology = TopologyKind::Torus;
+        let data = run_figure(&TINY, mode, 0xF16);
+        assert!(data.table().contains("[torus]"), "{}", data.table());
+        // the torus CSV must not clobber the mesh figure's results
+        let dir = std::env::temp_dir().join("procsim_torus_fig_test");
+        let path = data.write_csv(&dir).unwrap();
+        assert!(path.ends_with("fig97_torus.csv"), "{}", path.display());
+        mode.topology = TopologyKind::Mesh;
+        let mesh = run_figure(&TINY, mode, 0xF16);
+        assert!(!mesh.table().contains("[mesh]"), "mesh is the unmarked default");
+        assert_ne!(
+            data.points[0].means, mesh.points[0].means,
+            "same seeds, different topology must change the physics"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 /// `0 <= x < W` and `0 <= y < L` (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Coord {
+    /// Column, `0 <= x < W`.
     pub x: u16,
+    /// Row, `0 <= y < L`.
     pub y: u16,
 }
 
@@ -58,6 +60,7 @@ impl core::fmt::Display for Coord {
 pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// The id as a dense array index (node ids are contiguous from 0).
     #[inline]
     pub fn index(&self) -> usize {
         self.0 as usize

@@ -20,6 +20,8 @@
 //! processors, matching the SDSC Intel Paragon partition), but everything
 //! here is generic over mesh dimensions.
 
+#![warn(missing_docs)]
+
 pub mod buddy;
 pub mod coord;
 pub mod mesh;

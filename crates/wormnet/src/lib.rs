@@ -28,6 +28,13 @@
 //! path, each packet's full flit state is four integers. A cycle costs
 //! O(active packets), which is what makes the paper-scale parameter sweeps
 //! (hundreds of millions of cycles) tractable.
+//!
+//! The network is topology-generic: [`Topology`] names the channels of a
+//! mesh **or** a torus (wraparound links, two virtual channels with a
+//! dateline switch — see `docs/TOPOLOGIES.md`), and [`route`] picks the
+//! matching deadlock-free dimension-ordered route.
+
+#![warn(missing_docs)]
 
 pub mod network;
 pub mod packet;

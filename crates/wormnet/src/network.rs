@@ -32,10 +32,15 @@ pub struct Completion {
 /// draining completions).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetCounters {
+    /// Packets delivered so far.
     pub delivered: u64,
+    /// Summed network latency over delivered packets, in cycles.
     pub total_latency: u64,
+    /// Summed header blocking time over delivered packets, in cycles.
     pub total_blocked: u64,
+    /// Summed router-to-router hop counts over delivered packets.
     pub total_hops: u64,
+    /// Cycles the network has been stepped.
     pub cycles: u64,
 }
 
@@ -109,6 +114,7 @@ impl Network {
         (hops as u64 + 1) * (ts as u64 + 1) + plen as u64
     }
 
+    /// The topology this network was built over.
     #[inline]
     pub fn topology(&self) -> &Topology {
         &self.topo

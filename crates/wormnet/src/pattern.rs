@@ -30,6 +30,7 @@ pub enum Pattern {
 }
 
 impl Pattern {
+    /// Every supported pattern, in the ablation benches' sweep order.
     pub const ALL: [Pattern; 5] = [
         Pattern::AllToAll,
         Pattern::OneToAll,

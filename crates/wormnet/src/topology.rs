@@ -24,6 +24,39 @@ pub enum TopologyKind {
     Torus,
 }
 
+impl TopologyKind {
+    /// Every supported topology, in CLI/label order.
+    pub const ALL: [TopologyKind; 2] = [TopologyKind::Mesh, TopologyKind::Torus];
+
+    /// The lower-case CLI/CSV name (`"mesh"` / `"torus"`); the inverse of
+    /// the [`FromStr`](core::str::FromStr) impl.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+        }
+    }
+}
+
+impl core::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl core::str::FromStr for TopologyKind {
+    type Err = String;
+
+    /// Parses the CLI spelling (`"mesh"` / `"torus"`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mesh" => Ok(TopologyKind::Mesh),
+            "torus" => Ok(TopologyKind::Torus),
+            other => Err(format!("unknown topology '{other}' (mesh or torus)")),
+        }
+    }
+}
+
 /// Outgoing link direction from a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
@@ -57,6 +90,7 @@ impl Direction {
 pub struct ChannelId(pub u32);
 
 impl ChannelId {
+    /// The id as a dense array index (channel ids are contiguous from 0).
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
@@ -111,16 +145,19 @@ impl Topology {
         }
     }
 
+    /// Extent of the x dimension (`W`).
     #[inline]
     pub fn width(&self) -> u16 {
         self.w
     }
 
+    /// Extent of the y dimension (`L`).
     #[inline]
     pub fn length(&self) -> u16 {
         self.l
     }
 
+    /// Whether this is a mesh or a torus.
     #[inline]
     pub fn kind(&self) -> TopologyKind {
         self.kind
@@ -339,5 +376,17 @@ mod tests {
     #[should_panic(expected = "torus DOR needs")]
     fn torus_with_one_vc_rejected() {
         let _ = Topology::with_kind(4, 4, TopologyKind::Torus, 1);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(kind.to_string().parse::<TopologyKind>(), Ok(kind));
+            // the CLI accepts any casing
+            assert_eq!(kind.name().to_uppercase().parse::<TopologyKind>(), Ok(kind));
+        }
+        let err = "ring".parse::<TopologyKind>().unwrap_err();
+        assert!(err.contains("unknown topology 'ring'"), "{err}");
+        assert!(err.contains("mesh") && err.contains("torus"), "{err}");
     }
 }

@@ -5,13 +5,21 @@
 //! procsim run   [--strategy gabl|paging0|mbs|ff|bf|random|mc]
 //!               [--scheduler fcfs|ssd|sjf|ljf|easy]
 //!               [--workload uniform|exponential|paragon|cm5]
+//!               [--topology mesh|torus]
 //!               [--load 0.0008] [--jobs 400] [--seed 42]
-//!               [--torus] [--reps N] [--threads N]
+//!               [--reps N] [--threads N]
 //! procsim sweep [same flags] --loads 0.0002,0.0004,0.0008
 //! procsim trace <file.swf> [--load 0.7] [--strategy S|all] [--scheduler P]
-//!               [--scale 360] [--jobs N] [--reps R] [--seed K] [--csv PATH]
+//!               [--topology mesh|torus] [--scale 360] [--jobs N] [--reps R]
+//!               [--seed K] [--csv PATH]
 //! procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]
 //! ```
+//!
+//! Every simulating subcommand takes `--topology {mesh,torus}` (`--torus`
+//! is a legacy alias for `--topology torus`): the same workload, strategy,
+//! and seeds drive either network, so a mesh run and a torus run differ
+//! only in the wraparound links and the dateline virtual channels — see
+//! `docs/TOPOLOGIES.md`.
 //!
 //! `trace` replays an SWF archive file at a target **offered load**
 //! (`--load 0.7` = the scaled trace occupies 70 % of machine capacity in
@@ -99,6 +107,29 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Reads the run topology from `--topology mesh|torus` (or the legacy
+/// `--torus` flag). The two spellings must agree if both appear.
+fn topology_of(a: &Args) -> TopologyKind {
+    if a.flags.iter().any(|f| f == "topology") {
+        // the value was missing (or swallowed by a following flag);
+        // falling back to mesh would silently ignore the user's choice
+        die("--topology needs a value (mesh or torus)");
+    }
+    let named = a
+        .map
+        .get("topology")
+        .map(|s| s.parse::<TopologyKind>().unwrap_or_else(|e| die(&e)));
+    let legacy_torus = a.flags.iter().any(|f| f == "torus");
+    match (named, legacy_torus) {
+        (Some(TopologyKind::Mesh), true) => {
+            die("--topology mesh contradicts --torus (drop one)")
+        }
+        (Some(t), _) => t,
+        (None, true) => TopologyKind::Torus,
+        (None, false) => TopologyKind::Mesh,
+    }
+}
+
 fn workload_of(name: &str, load: f64) -> WorkloadSpec {
     match name {
         "uniform" => WorkloadSpec::Stochastic {
@@ -131,9 +162,7 @@ fn config_from(a: &Args, load: f64) -> SimConfig {
     let workload = workload_of(a.map.get("workload").map(|s| s.as_str()).unwrap_or("uniform"), load);
     let seed: u64 = a.map.get("seed").map(|s| s.parse().expect("bad --seed")).unwrap_or(42);
     let mut cfg = SimConfig::paper(strategy, scheduler, workload, seed);
-    if a.flags.iter().any(|f| f == "torus") {
-        cfg.topology = TopologyKind::Torus;
-    }
+    cfg.topology = topology_of(a);
     let jobs: usize = a.map.get("jobs").map(|s| s.parse().expect("bad --jobs")).unwrap_or(400);
     cfg.measured_jobs = jobs;
     cfg.warmup_jobs = (jobs / 4).max(10);
@@ -222,9 +251,11 @@ fn run_trace(a: &Args, reps: usize) {
     if !(scale > 0.0 && scale.is_finite()) {
         die("--scale must be a positive number (seconds of runtime per message)");
     }
+    let topology = topology_of(a);
     let factor = trace.factor_for_offered_load(machine, load);
     println!(
-        "replaying at offered load {load} (arrival-scaling factor f = {factor:.4}, f < 1 compresses)\n"
+        "replaying at offered load {load} on the {topology} \
+         (arrival-scaling factor f = {factor:.4}, f < 1 compresses)\n"
     );
 
     let strategies: Vec<StrategyKind> = match a.map.get("strategy").map(|s| s.as_str()) {
@@ -260,6 +291,9 @@ fn run_trace(a: &Args, reps: usize) {
                 },
                 derive_seed(seed, strategy_stream(&strategy.to_string())),
             );
+            // same seed on either topology: a mesh and a torus replay of
+            // one strategy see identical job streams (paired comparison)
+            cfg.topology = topology;
             cfg.measured_jobs = jobs;
             cfg.warmup_jobs = warmup;
             cfg
@@ -280,7 +314,7 @@ fn run_trace(a: &Args, reps: usize) {
         .get("csv")
         .cloned()
         .unwrap_or_else(|| format!("results/trace_{stem}.csv"));
-    match write_trace_csv(&csv_path, &stem, factor, &points) {
+    match write_trace_csv(&csv_path, &stem, topology, factor, &points) {
         Ok(()) => eprintln!("wrote {csv_path}"),
         Err(e) => die(&format!("cannot write {csv_path}: {e}")),
     }
@@ -292,6 +326,7 @@ fn run_trace(a: &Args, reps: usize) {
 fn write_trace_csv(
     path: &str,
     trace_name: &str,
+    topology: TopologyKind,
     factor: f64,
     points: &[PointResult],
 ) -> std::io::Result<()> {
@@ -303,11 +338,15 @@ fn write_trace_csv(
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "trace,series,load,factor,reps,turnaround,service,utilization,blocking,latency,fragments,\
-         ci_turnaround,ci_service,ci_utilization,ci_blocking,ci_latency,ci_fragments"
+        "trace,series,topology,load,factor,reps,turnaround,service,utilization,blocking,latency,\
+         fragments,ci_turnaround,ci_service,ci_utilization,ci_blocking,ci_latency,ci_fragments"
     )?;
     for p in points {
-        write!(f, "{},{},{},{},{}", trace_name, p.label, p.load, factor, p.replications)?;
+        write!(
+            f,
+            "{},{},{},{},{},{}",
+            trace_name, p.label, topology, p.load, factor, p.replications
+        )?;
         for m in p.means {
             write!(f, ",{m}")?;
         }
@@ -399,15 +438,17 @@ fn main() {
             println!("(IPDPS 2008 reproduction; see README.md)\n");
             println!("usage:");
             println!("  procsim run   [--strategy S] [--scheduler P] [--workload W] [--load L]");
-            println!("                [--jobs N] [--seed K] [--reps R] [--torus] [--threads T]");
+            println!("                [--topology T] [--jobs N] [--seed K] [--reps R] [--threads T]");
             println!("  procsim sweep --loads a,b,c [same flags]");
             println!("  procsim trace <file.swf> [--load RHO] [--strategy S|all] [--scheduler P]");
-            println!("                [--scale S] [--jobs N] [--reps R] [--seed K] [--csv PATH]");
+            println!("                [--topology T] [--scale S] [--jobs N] [--reps R] [--seed K]");
+            println!("                [--csv PATH]");
             println!("  procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]");
             println!();
             println!("strategies: gabl paging0 paging1 mbs ff bf random mc");
             println!("schedulers: fcfs ssd sjf ljf easy");
             println!("workloads:  uniform exponential paragon cm5");
+            println!("topologies: mesh torus   (--torus = legacy alias; docs/TOPOLOGIES.md)");
             println!();
             println!("trace --load is the target offered load (fraction of machine capacity");
             println!("in trace time, e.g. 0.7); see docs/WORKLOADS.md for the scaling math");
