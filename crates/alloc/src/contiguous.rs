@@ -7,7 +7,7 @@
 //! `ablation_contiguity` bench, not as paper figures.
 
 use crate::{AllocId, Allocation, AllocationStrategy};
-use mesh2d::{Coord, Mesh, OccupancySums, SubMesh};
+use mesh2d::{Coord, Mesh, SubMesh};
 
 /// Contiguous first-fit: the first free `a × b` (or `b × a`) sub-mesh in
 /// row-major base order.
@@ -17,6 +17,7 @@ pub struct FirstFit {
 }
 
 impl FirstFit {
+    /// A fresh first-fit allocator.
     pub fn new() -> Self {
         FirstFit::default()
     }
@@ -36,14 +37,11 @@ impl AllocationStrategy for FirstFit {
         mesh.occupy_submesh(&s);
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        Some(Allocation {
-            id,
-            submeshes: vec![s],
-        })
+        Some(Allocation::new(id, vec![s]))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
-        for s in &alloc.submeshes {
+        for s in alloc.submeshes() {
             mesh.release_submesh(s);
         }
     }
@@ -67,51 +65,66 @@ pub struct BestFit {
 }
 
 impl BestFit {
+    /// A fresh best-fit allocator.
     pub fn new() -> Self {
         BestFit::default()
     }
 
     /// Number of *free* processors adjacent to the perimeter of `s`
     /// (processors outside `s` sharing a link with it). Lower is snugger.
-    fn boundary_freeness(mesh: &Mesh, sums: &OccupancySums, s: &SubMesh) -> u32 {
+    /// Row segments are counted through the mesh's free-interval index;
+    /// the two flanking columns walk the occupancy bits directly.
+    fn boundary_freeness(mesh: &Mesh, s: &SubMesh) -> u32 {
         let mut free_neighbors = 0u32;
         let (bx, by) = (s.base.x, s.base.y);
         let (ex, ey) = (s.end.x, s.end.y);
         // left and right columns
-        if bx > 0 {
-            let col = SubMesh::new(Coord::new(bx - 1, by), Coord::new(bx - 1, ey));
-            free_neighbors += col.size() - sums.occupied_in(&col);
-        }
-        if ex + 1 < mesh.width() {
-            let col = SubMesh::new(Coord::new(ex + 1, by), Coord::new(ex + 1, ey));
-            free_neighbors += col.size() - sums.occupied_in(&col);
+        for y in by..=ey {
+            if bx > 0 && mesh.is_free(Coord::new(bx - 1, y)) {
+                free_neighbors += 1;
+            }
+            if ex + 1 < mesh.width() && mesh.is_free(Coord::new(ex + 1, y)) {
+                free_neighbors += 1;
+            }
         }
         // bottom and top rows
         if by > 0 {
-            let row = SubMesh::new(Coord::new(bx, by - 1), Coord::new(ex, by - 1));
-            free_neighbors += row.size() - sums.occupied_in(&row);
+            free_neighbors += mesh.free_in_row_span(by - 1, bx, ex);
         }
         if ey + 1 < mesh.length() {
-            let row = SubMesh::new(Coord::new(bx, by + 1), Coord::new(ex, by + 1));
-            free_neighbors += row.size() - sums.occupied_in(&row);
+            free_neighbors += mesh.free_in_row_span(ey + 1, bx, ex);
         }
         free_neighbors
     }
 
-    fn best_placement(mesh: &Mesh, sums: &OccupancySums, w: u16, l: u16) -> Option<(u32, SubMesh)> {
+    fn best_placement(mesh: &Mesh, w: u16, l: u16) -> Option<(u32, SubMesh)> {
         if w > mesh.width() || l > mesh.length() {
             return None;
         }
+        // enumerate candidate bases from the free-interval index: a free
+        // w × l placement at row y lies inside an intersection of the
+        // free runs of rows y..y+l-1, so only those spans are scanned
+        // (same base order as a full row-major sweep)
         let mut best: Option<(u32, SubMesh)> = None;
+        let mut acc: Vec<(u16, u16)> = Vec::new();
+        let mut next: Vec<(u16, u16)> = Vec::new();
         for y in 0..=(mesh.length() - l) {
-            for x in 0..=(mesh.width() - w) {
-                let s = SubMesh::from_base_size(Coord::new(x, y), w, l);
-                if !sums.is_free(&s) {
-                    continue;
+            acc.clear();
+            acc.extend_from_slice(mesh.row_free_intervals(y));
+            for r in (y + 1)..(y + l) {
+                if acc.is_empty() {
+                    break;
                 }
-                let score = Self::boundary_freeness(mesh, sums, &s);
-                if best.is_none_or(|(bs, _)| score < bs) {
-                    best = Some((score, s));
+                mesh2d::rect::intersect_intervals(&acc, mesh.row_free_intervals(r), &mut next);
+                std::mem::swap(&mut acc, &mut next);
+            }
+            for &(a, b) in acc.iter().filter(|&&(a, b)| b - a + 1 >= w) {
+                for x in a..=(b + 1 - w) {
+                    let s = SubMesh::from_base_size(Coord::new(x, y), w, l);
+                    let score = Self::boundary_freeness(mesh, &s);
+                    if best.is_none_or(|(bs, _)| score < bs) {
+                        best = Some((score, s));
+                    }
                 }
             }
         }
@@ -128,10 +141,9 @@ impl AllocationStrategy for BestFit {
         if a == 0 || b == 0 {
             return None;
         }
-        let sums = OccupancySums::new(mesh);
-        let c1 = Self::best_placement(mesh, &sums, a, b);
+        let c1 = Self::best_placement(mesh, a, b);
         let c2 = if a != b {
-            Self::best_placement(mesh, &sums, b, a)
+            Self::best_placement(mesh, b, a)
         } else {
             None
         };
@@ -149,14 +161,11 @@ impl AllocationStrategy for BestFit {
         mesh.occupy_submesh(&s);
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        Some(Allocation {
-            id,
-            submeshes: vec![s],
-        })
+        Some(Allocation::new(id, vec![s]))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
-        for s in &alloc.submeshes {
+        for s in alloc.submeshes() {
             mesh.release_submesh(s);
         }
     }
@@ -179,7 +188,7 @@ mod tests {
         let mut mesh = Mesh::new(8, 8);
         let mut ff = FirstFit::new();
         let a = ff.allocate(&mut mesh, 3, 3).unwrap();
-        assert_eq!(a.submeshes[0].base, Coord::new(0, 0));
+        assert_eq!(a.submeshes()[0].base, Coord::new(0, 0));
         assert_eq!(a.fragments(), 1);
     }
 
@@ -217,7 +226,7 @@ mod tests {
         mesh.occupy_submesh(&SubMesh::from_base_size(Coord::new(0, 0), 4, 8));
         let mut bf = BestFit::new();
         let a = bf.allocate(&mut mesh, 2, 2).unwrap();
-        let s = a.submeshes[0];
+        let s = a.submeshes()[0];
         // snug: touches either the occupied wall (x=4) or a mesh corner
         let touches_wall = s.base.x == 4;
         let touches_corner = (s.base.x == 6 || s.base.x == 4) && (s.base.y == 0 || s.end.y == 7);

@@ -21,7 +21,9 @@ use mesh2d::{find_free_submesh, largest_free_rect, largest_free_rect_near, Coord
 /// One busy-list entry: a sub-mesh granted to a live job.
 #[derive(Debug, Clone, Copy)]
 pub struct BusyEntry {
+    /// The allocation this sub-mesh belongs to.
     pub owner: AllocId,
+    /// The granted sub-mesh.
     pub sub: SubMesh,
 }
 
@@ -36,6 +38,7 @@ pub struct Gabl {
 }
 
 impl Gabl {
+    /// A fresh GABL allocator with an empty busy list.
     pub fn new() -> Self {
         Gabl::default()
     }
@@ -141,10 +144,7 @@ impl AllocationStrategy for Gabl {
             self.busy.push(BusyEntry { owner: id, sub });
         }
         self.peak_busy_len = self.peak_busy_len.max(self.busy.len());
-        Some(Allocation {
-            id,
-            submeshes: pieces,
-        })
+        Some(Allocation::new(id, pieces))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
@@ -152,10 +152,10 @@ impl AllocationStrategy for Gabl {
         self.busy.retain(|e| e.owner != alloc.id);
         assert_eq!(
             before - self.busy.len(),
-            alloc.submeshes.len(),
+            alloc.submeshes().len(),
             "busy list out of sync with allocation"
         );
-        for s in &alloc.submeshes {
+        for s in alloc.submeshes() {
             mesh.release_submesh(s);
         }
     }
@@ -172,7 +172,7 @@ impl AllocationStrategy for Gabl {
 }
 
 /// Convenience: returns the coordinates allocated to `alloc` (rank order).
-pub fn allocation_nodes(alloc: &Allocation) -> Vec<Coord> {
+pub fn allocation_nodes(alloc: &Allocation) -> &[Coord] {
     alloc.nodes()
 }
 
@@ -274,10 +274,10 @@ mod tests {
         });
         // NOTE: retained entries were not released; allocate a large job
         if let Some(al) = g.allocate(&mut mesh, 10, 10) {
-            let sizes: Vec<u32> = al.submeshes.iter().map(|s| s.size()).collect();
+            let sizes: Vec<u32> = al.submeshes().iter().map(|s| s.size()).collect();
             if al.fragments() > 1 {
                 let maxes: Vec<u16> = al
-                    .submeshes
+                    .submeshes()
                     .iter()
                     .map(|s| s.width().max(s.length()))
                     .collect();

@@ -21,6 +21,8 @@
 //! utilization results (§5): *allocation succeeds whenever the number of
 //! free processors is at least the request size*.
 
+#![warn(missing_docs)]
+
 pub mod contiguous;
 pub mod gabl;
 pub mod mbs;
@@ -47,27 +49,50 @@ pub struct AllocId(pub u64);
 /// The processors granted to one job: a list of disjoint sub-meshes, in
 /// allocation order (the order defines the job's processor ranks for
 /// communication patterns).
+///
+/// The rank → coordinate layout is expanded **once** at construction and
+/// cached for the allocation's lifetime: the simulator's per-job setup
+/// and every closed-loop send index straight into it instead of
+/// re-flattening the sub-mesh list.
 #[derive(Debug, Clone)]
 pub struct Allocation {
     /// Strategy-assigned identifier.
     pub id: AllocId,
-    /// Disjoint sub-meshes, largest/first-allocated first.
-    pub submeshes: Vec<SubMesh>,
+    /// Disjoint sub-meshes, largest/first-allocated first. Private so it
+    /// cannot drift out of sync with the cached `nodes` layout.
+    submeshes: Vec<SubMesh>,
+    /// Cached processor coordinates in allocation (rank) order.
+    nodes: Vec<Coord>,
 }
 
 impl Allocation {
+    /// Builds an allocation over `submeshes`, expanding and caching the
+    /// rank → coordinate layout.
+    pub fn new(id: AllocId, submeshes: Vec<SubMesh>) -> Self {
+        let mut nodes = Vec::with_capacity(submeshes.iter().map(|s| s.size() as usize).sum());
+        for s in &submeshes {
+            nodes.extend(s.iter());
+        }
+        Allocation {
+            id,
+            submeshes,
+            nodes,
+        }
+    }
+
     /// Total processors allocated.
     pub fn size(&self) -> u32 {
-        self.submeshes.iter().map(|s| s.size()).sum()
+        self.nodes.len() as u32
     }
 
     /// All processor coordinates in allocation (rank) order.
-    pub fn nodes(&self) -> Vec<Coord> {
-        let mut v = Vec::with_capacity(self.size() as usize);
-        for s in &self.submeshes {
-            v.extend(s.iter());
-        }
-        v
+    pub fn nodes(&self) -> &[Coord] {
+        &self.nodes
+    }
+
+    /// The granted sub-meshes, largest/first-allocated first.
+    pub fn submeshes(&self) -> &[SubMesh] {
+        &self.submeshes
     }
 
     /// Number of disjoint sub-meshes (1 = fully contiguous). The paper's
@@ -109,7 +134,9 @@ pub enum StrategyKind {
     Gabl,
     /// Paging with pages of side `2^size_index`.
     Paging {
+        /// Page side exponent (the paper evaluates 0..=3).
         size_index: u8,
+        /// Page traversal order for index-order allocation.
         indexing: PageIndexing,
     },
     /// Multiple Buddy Strategy.
@@ -174,13 +201,13 @@ mod tests {
 
     #[test]
     fn allocation_accessors() {
-        let a = Allocation {
-            id: AllocId(1),
-            submeshes: vec![
+        let a = Allocation::new(
+            AllocId(1),
+            vec![
                 SubMesh::from_base_size(Coord::new(0, 0), 2, 2),
                 SubMesh::from_base_size(Coord::new(4, 4), 1, 3),
             ],
-        };
+        );
         assert_eq!(a.size(), 7);
         assert_eq!(a.fragments(), 2);
         let nodes = a.nodes();

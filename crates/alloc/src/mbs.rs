@@ -252,7 +252,7 @@ impl AllocationStrategy for Mbs {
         let id = AllocId(self.next_id);
         self.next_id += 1;
         self.live.insert(id.0, taken);
-        Some(Allocation { id, submeshes })
+        Some(Allocation::new(id, submeshes))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
@@ -290,7 +290,7 @@ mod tests {
         let mut mbs = Mbs::new(&mesh);
         let a = mbs.allocate(&mut mesh, 4, 4).unwrap();
         assert_eq!(a.fragments(), 1, "16 = 4^2 processors -> one 4x4 block");
-        assert_eq!(a.submeshes[0].width(), 4);
+        assert_eq!(a.submeshes()[0].width(), 4);
     }
 
     #[test]
@@ -300,7 +300,7 @@ mod tests {
         // 13 = 1*1 + 3*4: one 1x1 + three 2x2
         let a = mbs.allocate(&mut mesh, 13, 1).unwrap();
         assert_eq!(a.size(), 13);
-        let mut sides: Vec<u16> = a.submeshes.iter().map(|s| s.width()).collect();
+        let mut sides: Vec<u16> = a.submeshes().iter().map(|s| s.width()).collect();
         sides.sort_unstable();
         assert_eq!(sides, vec![1, 2, 2, 2]);
     }
@@ -347,7 +347,7 @@ mod tests {
         let mut mbs = Mbs::new(&mesh);
         let a = mbs.allocate(&mut mesh, 5, 7).unwrap();
         assert_eq!(a.size(), 35);
-        let mut sides: Vec<u16> = a.submeshes.iter().map(|s| s.width()).collect();
+        let mut sides: Vec<u16> = a.submeshes().iter().map(|s| s.width()).collect();
         sides.sort_unstable();
         assert_eq!(sides, vec![1, 1, 1, 4, 4]);
         mbs.release(&mut mesh, a);

@@ -24,6 +24,7 @@ pub struct Mc {
 }
 
 impl Mc {
+    /// A fresh MC allocator.
     pub fn new() -> Self {
         Mc::default()
     }
@@ -96,11 +97,11 @@ impl AllocationStrategy for Mc {
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        Some(Allocation { id, submeshes })
+        Some(Allocation::new(id, submeshes))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
-        for s in &alloc.submeshes {
+        for s in alloc.submeshes() {
             mesh.release_submesh(s);
         }
     }
@@ -175,10 +176,10 @@ mod tests {
         let mut rnd = crate::RandomNc::new(1);
         let rnd_alloc = rnd.allocate(&mut mesh.clone(), 5, 5).unwrap();
         assert!(
-            spread(&mc_alloc.nodes()) < spread(&rnd_alloc.nodes()),
+            spread(mc_alloc.nodes()) < spread(rnd_alloc.nodes()),
             "MC {} vs Random {}",
-            spread(&mc_alloc.nodes()),
-            spread(&rnd_alloc.nodes())
+            spread(mc_alloc.nodes()),
+            spread(rnd_alloc.nodes())
         );
     }
 
@@ -188,7 +189,7 @@ mod tests {
             let mut mesh = Mesh::new(8, 8);
             mesh.occupy(Coord::new(3, 3));
             let mut mc = Mc::new();
-            mc.allocate(&mut mesh, 3, 2).unwrap().nodes()
+            mc.allocate(&mut mesh, 3, 2).unwrap().nodes().to_vec()
         };
         assert_eq!(build(), build());
     }

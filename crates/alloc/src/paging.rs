@@ -80,7 +80,7 @@ impl AllocationStrategy for Paging {
         let id = AllocId(self.next_id);
         self.next_id += 1;
         self.live.insert(id.0, chosen);
-        Some(Allocation { id, submeshes })
+        Some(Allocation::new(id, submeshes))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
@@ -186,10 +186,7 @@ mod tests {
     fn release_unknown_panics() {
         let mut mesh = Mesh::new(4, 4);
         let mut p = paging0(&mesh);
-        let bogus = Allocation {
-            id: AllocId(999),
-            submeshes: vec![],
-        };
+        let bogus = Allocation::new(AllocId(999), vec![]);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             p.release(&mut mesh, bogus);
         }));

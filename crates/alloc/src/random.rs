@@ -19,6 +19,7 @@ pub struct RandomNc {
 }
 
 impl RandomNc {
+    /// A scatter allocator drawing from the given seed's stream.
     pub fn new(seed: u64) -> Self {
         RandomNc {
             rng: SimRng::new(seed),
@@ -52,11 +53,11 @@ impl AllocationStrategy for RandomNc {
         }
         let id = AllocId(self.next_id);
         self.next_id += 1;
-        Some(Allocation { id, submeshes })
+        Some(Allocation::new(id, submeshes))
     }
 
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
-        for s in &alloc.submeshes {
+        for s in alloc.submeshes() {
             mesh.release_submesh(s);
         }
     }
@@ -101,7 +102,7 @@ mod tests {
         let run = |seed| {
             let mut mesh = Mesh::new(8, 8);
             let mut r = RandomNc::new(seed);
-            r.allocate(&mut mesh, 4, 4).unwrap().nodes()
+            r.allocate(&mut mesh, 4, 4).unwrap().nodes().to_vec()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -112,7 +113,7 @@ mod tests {
         let mut mesh = Mesh::new(8, 8);
         let mut r = RandomNc::new(3);
         let first = r.allocate(&mut mesh, 2, 2).unwrap();
-        let first_nodes = first.nodes();
+        let first_nodes = first.nodes().to_vec();
         r.release(&mut mesh, first);
         r.reset(&mesh);
         let again = r.allocate(&mut mesh, 2, 2).unwrap();

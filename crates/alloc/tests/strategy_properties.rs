@@ -113,7 +113,7 @@ proptest! {
         // pairwise disjoint across all live allocations
         let mut seen = std::collections::HashSet::new();
         for al in &live {
-            for c in al.nodes() {
+            for &c in al.nodes() {
                 prop_assert!(seen.insert(c), "{} double-allocated {}", strat.name(), c);
                 prop_assert!(mesh.is_occupied(c));
             }
@@ -172,7 +172,7 @@ proptest! {
         if let Some(al) = strat.allocate(&mut mesh, a, b) {
             prop_assert!(al.fragments() as u32 <= al.size());
             // greedy: piece sizes (max side) never increase
-            let sides: Vec<u16> = al.submeshes.iter().map(|s| s.width().max(s.length())).collect();
+            let sides: Vec<u16> = al.submeshes().iter().map(|s| s.width().max(s.length())).collect();
             for w in sides.windows(2) {
                 prop_assert!(w[0] >= w[1]);
             }

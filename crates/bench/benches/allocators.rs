@@ -62,6 +62,50 @@ fn bench_strategies(c: &mut Criterion) {
     churn(c, StrategyKind::Random, "random");
 }
 
+/// Full allocation lifecycle at moderate occupancy, where requests mostly
+/// *succeed*: allocate, expand the rank → coordinate layout (the
+/// simulator's per-job setup path), release. Unlike `alloc_release`,
+/// which holds the mesh near saturation and so mostly measures the
+/// cheap failure path, this bench exercises the search + bookkeeping
+/// cost that each started job actually pays.
+fn lifecycle(c: &mut Criterion, kind: StrategyKind, name: &str) {
+    let mut mesh = Mesh::new(16, 22);
+    let mut strat = kind.build(&mesh, 42);
+    let mut rng = SimRng::new(11);
+    let mut live: std::collections::VecDeque<mesh_alloc::Allocation> =
+        std::collections::VecDeque::new();
+    c.bench_function(&format!("alloc_churn/{name}"), |bch| {
+        bch.iter(|| {
+            let a = rng.uniform_incl(1, 6) as u16;
+            let b = rng.uniform_incl(1, 6) as u16;
+            // hold occupancy moderate: make room before allocating
+            while mesh.free_count() < a as u32 * b as u32 || live.len() >= 12 {
+                let al = live.pop_front().unwrap();
+                strat.release(&mut mesh, al);
+            }
+            if let Some(al) = strat.allocate(&mut mesh, black_box(a), black_box(b)) {
+                black_box(al.nodes().len());
+                live.push_back(al);
+            }
+        })
+    });
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    lifecycle(c, StrategyKind::Gabl, "gabl");
+    lifecycle(
+        c,
+        StrategyKind::Paging {
+            size_index: 0,
+            indexing: PageIndexing::RowMajor,
+        },
+        "paging0",
+    );
+    lifecycle(c, StrategyKind::Mbs, "mbs");
+    lifecycle(c, StrategyKind::FirstFit, "first_fit");
+    lifecycle(c, StrategyKind::BestFit, "best_fit");
+}
+
 fn bench_rect_search(c: &mut Criterion) {
     let mut mesh = Mesh::new(16, 22);
     let mut rng = SimRng::new(3);
@@ -91,5 +135,5 @@ fn bench_rect_search(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_strategies, bench_rect_search);
+criterion_group!(benches, bench_strategies, bench_lifecycle, bench_rect_search);
 criterion_main!(benches);

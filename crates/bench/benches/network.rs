@@ -70,6 +70,45 @@ fn bench_step_cost(c: &mut Criterion) {
     });
 }
 
+fn bench_advance_until(c: &mut Criterion) {
+    // contended: compressed advancement over a 64-cycle window while the
+    // network is saturated with worms (compare against 64× step cost)
+    c.bench_function("network/advance_until_64_cycles_contended", |b| {
+        let mut n = Network::new(16, 22, 3);
+        let mut rng = SimRng::new(5);
+        let mut t = 0;
+        b.iter(|| {
+            if n.active_count() < 50 {
+                for i in 0..600u64 {
+                    let s = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    let d = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    n.send(s, d, 8, i, t);
+                }
+            }
+            t = n.advance_until(t, t + 64);
+            black_box(n.active_count())
+        })
+    });
+    // sparse: a handful of uncontended worms — the regime where routing
+    // delays make most cycles provably inert and compression dominates
+    c.bench_function("network/advance_until_64_cycles_sparse", |b| {
+        let mut n = Network::new(16, 22, 3);
+        let mut rng = SimRng::new(9);
+        let mut t = 0;
+        b.iter(|| {
+            if n.active_count() < 2 {
+                for i in 0..4u64 {
+                    let s = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    let d = Coord::new(rng.index(16) as u16, rng.index(22) as u16);
+                    n.send(s, d, 8, i, t);
+                }
+            }
+            t = n.advance_until(t, t + 64);
+            black_box(n.active_count())
+        })
+    });
+}
+
 fn bench_routing(c: &mut Criterion) {
     let topo = Topology::new(16, 22);
     c.bench_function("routing/xy_route_corner_to_corner", |b| {
@@ -84,5 +123,12 @@ fn bench_routing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_packet, bench_all_to_all, bench_step_cost, bench_routing);
+criterion_group!(
+    benches,
+    bench_single_packet,
+    bench_all_to_all,
+    bench_step_cost,
+    bench_advance_until,
+    bench_routing
+);
 criterion_main!(benches);

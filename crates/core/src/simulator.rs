@@ -42,10 +42,9 @@ struct JobState {
     start: Time,
     alloc: Option<Allocation>,
     /// Per-rank remaining destinations (closed loop: rank r's next message
-    /// is sent when its previous one is delivered).
+    /// is sent when its previous one is delivered). The rank → coordinate
+    /// map itself lives in `alloc` (cached once per allocation).
     sends: Vec<std::collections::VecDeque<mesh2d::Coord>>,
-    /// Rank -> processor coordinate.
-    rank_coord: Vec<mesh2d::Coord>,
     /// Packets still in flight or unsent.
     outstanding: u32,
     /// Per-job packet accumulators (folded into run metrics at departure
@@ -302,7 +301,6 @@ impl Simulator {
                         start: Time::MAX,
                         alloc: None,
                         sends: Vec::new(),
-                        rank_coord: Vec::new(),
                         outstanding: 0,
                         lat_sum: 0,
                         blk_sum: 0,
@@ -359,14 +357,14 @@ impl Simulator {
 
     fn start_job(&mut self, id: u64, alloc: Allocation) {
         self.util.update(self.now, self.mesh.used_count() as f64);
-        let (msgs_per_node, nodes) = {
-            let js = self.jobs.get_mut(&id).unwrap();
-            js.start = self.now;
-            let nodes = alloc.nodes();
-            js.alloc = Some(alloc);
-            (js.spec.msgs_per_node, nodes)
-        };
-        let msgs = pattern_messages(self.cfg.pattern, &nodes, msgs_per_node, &mut self.pat_rng);
+        let js = self.jobs.get_mut(&id).expect("started job without state");
+        js.start = self.now;
+        js.alloc = Some(alloc);
+        // the rank → coordinate layout was expanded once when the
+        // allocation was built; every use below indexes the cached slice
+        let nodes = js.alloc.as_ref().unwrap().nodes();
+        let msgs_per_node = js.spec.msgs_per_node;
+        let msgs = pattern_messages(self.cfg.pattern, nodes, msgs_per_node, &mut self.pat_rng);
         if msgs.is_empty() {
             // single-processor job (or pattern with a silent role):
             // local-computation proxy with the same per-message cost a
@@ -375,32 +373,33 @@ impl Simulator {
             self.events.schedule(self.now + local.max(1), Ev::LocalDone(id));
             return;
         }
-        // group messages into per-rank destination queues (pattern output
-        // lists each sender's messages contiguously, in rank order)
-        let rank_of: std::collections::HashMap<mesh2d::Coord, usize> = nodes
+        // group messages into per-rank destination queues through a
+        // sorted coordinate → rank index (nodes are unique, so binary
+        // search replaces the old per-job hash map)
+        let mut rank_index: Vec<(mesh2d::Coord, u32)> = nodes
             .iter()
             .enumerate()
-            .map(|(r, &c)| (c, r))
+            .map(|(r, &c)| (c, r as u32))
             .collect();
+        rank_index.sort_unstable_by_key(|&(c, _)| (c.y, c.x));
         let mut sends: Vec<std::collections::VecDeque<mesh2d::Coord>> =
             vec![std::collections::VecDeque::new(); nodes.len()];
         for (src, dst) in &msgs {
-            sends[rank_of[src]].push_back(*dst);
+            let i = rank_index
+                .binary_search_by_key(&(src.y, src.x), |&(c, _)| (c.y, c.x))
+                .expect("pattern message from a coordinate outside the allocation");
+            sends[rank_index[i].1 as usize].push_back(*dst);
         }
-        {
-            let js = self.jobs.get_mut(&id).unwrap();
-            js.outstanding = msgs.len() as u32;
-            js.rank_coord = nodes;
-            js.sends = sends;
-        }
+        js.outstanding = msgs.len() as u32;
+        js.sends = sends;
         // closed loop: every rank launches its first message; subsequent
         // messages go out as deliveries come back
-        let js = self.jobs.get_mut(&id).unwrap();
+        let alloc = js.alloc.as_ref().unwrap();
         let first: Vec<(usize, mesh2d::Coord, mesh2d::Coord)> = js
             .sends
             .iter_mut()
             .enumerate()
-            .filter_map(|(r, q)| q.pop_front().map(|d| (r, js.rank_coord[r], d)))
+            .filter_map(|(r, q)| q.pop_front().map(|d| (r, alloc.nodes()[r], d)))
             .collect();
         for (rank, src, dst) in first {
             self.net
@@ -457,7 +456,7 @@ impl Simulator {
             js.outstanding -= 1;
             // closed loop: the sender's next message goes out now
             if let Some(dst) = js.sends[rank].pop_front() {
-                let src = js.rank_coord[rank];
+                let src = js.alloc.as_ref().expect("send for unallocated job").nodes()[rank];
                 self.net
                     .send(src, dst, self.cfg.plen, encode_tag(job_id, rank), self.now);
             }
@@ -518,6 +517,24 @@ impl Simulator {
                         self.schedule_pass();
                     }
                     None => break, // job source exhausted
+                }
+            } else if let leap @ 1.. = self.net.skippable_cycles() {
+                // Event-compressed advancement: the network has proven
+                // that the next `leap` cycles are inert (every worm is in
+                // routing delay or blocked on a channel that cannot be
+                // released before then, and no injection can proceed), so
+                // leap to the next job-level event or the network's next
+                // possible progress, whichever comes first. The skipped
+                // cycles are applied to the network in O(1); nothing
+                // observable differs from stepping them one by one.
+                let mut stop = self.now + leap;
+                if let Some(te) = self.events.peek_time() {
+                    stop = stop.min(te);
+                }
+                self.net.skip_cycles(stop - self.now);
+                self.now = stop;
+                if self.drain_due() {
+                    self.schedule_pass();
                 }
             } else {
                 self.now += 1;

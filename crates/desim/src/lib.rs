@@ -16,6 +16,8 @@
 //! layer (job-level simulator, tests, examples) can define its own event
 //! enum without dynamic dispatch.
 
+#![warn(missing_docs)]
+
 pub mod queue;
 pub mod rng;
 

@@ -33,5 +33,8 @@ pub use buddy::{decompose_pow2_squares, split_square};
 pub use coord::{Coord, NodeId};
 pub use mesh::Mesh;
 pub use pages::{PageGrid, PageIndexing};
-pub use rect::{find_free_submesh, largest_free_rect, largest_free_rect_near, OccupancySums};
+pub use rect::{
+    find_free_submesh, intersect_intervals, largest_free_rect, largest_free_rect_near,
+    OccupancySums,
+};
 pub use submesh::SubMesh;

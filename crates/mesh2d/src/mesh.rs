@@ -9,12 +9,23 @@ use crate::submesh::SubMesh;
 /// count. This is the single source of truth allocation strategies mutate;
 /// the invariant that a strategy never double-allocates or double-frees a
 /// processor is enforced here with debug assertions and checked in tests.
+///
+/// Alongside the raw occupancy bits the mesh maintains an **incremental
+/// free-space index**: per-row sorted lists of maximal free intervals,
+/// updated in O(intervals) on every occupy/release. The free-rectangle
+/// searches in [`crate::rect`] walk these intervals instead of rescanning
+/// the whole `W × L` grid on every allocation probe, which is what makes
+/// contiguous probing and GABL's greedy partitioning cheap at high
+/// utilization (few, short free intervals) — see `docs/PERFORMANCE.md`.
 #[derive(Debug, Clone)]
 pub struct Mesh {
     w: u16,
     l: u16,
     occupied: Vec<bool>,
     free: u32,
+    /// Per-row sorted, disjoint, maximal free intervals `(start, end)`,
+    /// inclusive on both ends.
+    row_free: Vec<Vec<(u16, u16)>>,
 }
 
 impl Mesh {
@@ -29,6 +40,7 @@ impl Mesh {
             l,
             occupied: vec![false; w as usize * l as usize],
             free: w as u32 * l as u32,
+            row_free: vec![vec![(0, w - 1)]; l as usize],
         }
     }
 
@@ -126,6 +138,7 @@ impl Mesh {
         assert!(!self.occupied[i], "double allocation of {c}");
         self.occupied[i] = true;
         self.free -= 1;
+        Self::interval_remove(&mut self.row_free[c.y as usize], c.x);
     }
 
     /// Marks a single processor free.
@@ -137,6 +150,45 @@ impl Mesh {
         assert!(self.occupied[i], "double free of {c}");
         self.occupied[i] = false;
         self.free += 1;
+        Self::interval_insert(&mut self.row_free[c.y as usize], c.x);
+    }
+
+    /// Removes column `x` from a row's free-interval list. `x` must lie in
+    /// an interval (the caller just verified the processor was free).
+    fn interval_remove(row: &mut Vec<(u16, u16)>, x: u16) {
+        let i = row.partition_point(|&(_, end)| end < x);
+        debug_assert!(
+            i < row.len() && row[i].0 <= x && x <= row[i].1,
+            "free-interval index out of sync"
+        );
+        let (a, b) = row[i];
+        if a == b {
+            row.remove(i);
+        } else if x == a {
+            row[i].0 = x + 1;
+        } else if x == b {
+            row[i].1 = x - 1;
+        } else {
+            row[i].1 = x - 1;
+            row.insert(i + 1, (x + 1, b));
+        }
+    }
+
+    /// Inserts column `x` into a row's free-interval list, coalescing with
+    /// adjacent intervals. `x` must not lie in any interval.
+    fn interval_insert(row: &mut Vec<(u16, u16)>, x: u16) {
+        let i = row.partition_point(|&(_, end)| end < x);
+        let touch_left = i > 0 && row[i - 1].1 + 1 == x;
+        let touch_right = i < row.len() && x + 1 == row[i].0;
+        match (touch_left, touch_right) {
+            (true, true) => {
+                row[i - 1].1 = row[i].1;
+                row.remove(i);
+            }
+            (true, false) => row[i - 1].1 = x,
+            (false, true) => row[i].0 = x,
+            (false, false) => row.insert(i, (x, x)),
+        }
     }
 
     /// Whether every processor of `s` is free.
@@ -205,10 +257,36 @@ impl Mesh {
         &self.occupied
     }
 
+    /// The sorted, disjoint, maximal free intervals `(start, end)`
+    /// (inclusive) of row `y` — the incremental free-space index the
+    /// rectangle searches and allocation strategies probe instead of
+    /// rescanning the occupancy grid.
+    #[inline]
+    pub fn row_free_intervals(&self, y: u16) -> &[(u16, u16)] {
+        &self.row_free[y as usize]
+    }
+
+    /// Number of free processors in columns `x0..=x1` of row `y`,
+    /// computed from the free-interval index in O(intervals).
+    pub fn free_in_row_span(&self, y: u16, x0: u16, x1: u16) -> u32 {
+        debug_assert!(x0 <= x1 && x1 < self.w && y < self.l);
+        let row = &self.row_free[y as usize];
+        let i = row.partition_point(|&(_, end)| end < x0);
+        row[i..]
+            .iter()
+            .take_while(|&&(a, _)| a <= x1)
+            .map(|&(a, b)| (b.min(x1) - a.max(x0) + 1) as u32)
+            .sum()
+    }
+
     /// Frees every processor, returning the mesh to its initial state.
     pub fn clear(&mut self) {
         self.occupied.fill(false);
         self.free = self.size();
+        for row in &mut self.row_free {
+            row.clear();
+            row.push((0, self.w - 1));
+        }
     }
 }
 
@@ -295,6 +373,68 @@ mod tests {
         let used: Vec<_> = m.iter_occupied().collect();
         assert_eq!(free.len() + used.len(), 15);
         assert_eq!(used, vec![Coord::new(0, 0), Coord::new(4, 2)]);
+    }
+
+    fn expected_intervals(m: &Mesh, y: u16) -> Vec<(u16, u16)> {
+        // reference: maximal runs of free cells in the occupancy bits
+        let mut runs = Vec::new();
+        let mut start: Option<u16> = None;
+        for x in 0..m.width() {
+            if m.is_free(Coord::new(x, y)) {
+                start.get_or_insert(x);
+            } else if let Some(s) = start.take() {
+                runs.push((s, x - 1));
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s, m.width() - 1));
+        }
+        runs
+    }
+
+    #[test]
+    fn free_interval_index_tracks_occupancy_under_churn() {
+        let mut m = Mesh::new(9, 7);
+        let mut seed = 0xC0FFEEu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..4000 {
+            let c = Coord::new((rng() % 9) as u16, (rng() % 7) as u16);
+            if m.is_free(c) {
+                m.occupy(c);
+            } else {
+                m.release(c);
+            }
+            let y = c.y;
+            assert_eq!(m.row_free_intervals(y), expected_intervals(&m, y), "row {y}");
+        }
+        for y in 0..7 {
+            assert_eq!(m.row_free_intervals(y), expected_intervals(&m, y));
+            // spot-check span counting against the raw bits
+            let naive: u32 = (2..=6u16).filter(|&x| m.is_free(Coord::new(x, y))).count() as u32;
+            assert_eq!(m.free_in_row_span(y, 2, 6), naive);
+        }
+    }
+
+    #[test]
+    fn interval_index_submesh_ops_and_clear() {
+        let mut m = Mesh::new(8, 8);
+        let s = SubMesh::from_base_size(Coord::new(2, 1), 4, 3);
+        m.occupy_submesh(&s);
+        for y in 1..4 {
+            assert_eq!(m.row_free_intervals(y), &[(0, 1), (6, 7)]);
+            assert_eq!(m.free_in_row_span(y, 0, 7), 4);
+        }
+        assert_eq!(m.row_free_intervals(0), &[(0, 7)]);
+        m.release_submesh(&s);
+        for y in 0..8 {
+            assert_eq!(m.row_free_intervals(y), &[(0, 7)]);
+        }
+        m.occupy(Coord::new(4, 4));
+        m.clear();
+        assert_eq!(m.row_free_intervals(4), &[(0, 7)]);
     }
 
     #[test]

@@ -57,15 +57,58 @@ impl OccupancySums {
     }
 }
 
+/// Intersects two sorted disjoint interval lists into `out` (cleared
+/// first): the columns covered by both. Standard two-pointer sweep,
+/// O(|a| + |b|). The building block for stacking the per-row free
+/// intervals of [`Mesh::row_free_intervals`] into free-rectangle
+/// candidates; exposed so allocation strategies can run their own
+/// interval-driven probes.
+pub fn intersect_intervals(a: &[(u16, u16)], b: &[(u16, u16)], out: &mut Vec<(u16, u16)>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
 /// Finds the first entirely free `w × l` sub-mesh, scanning candidate bases
 /// in row-major order. Returns `None` when no such sub-mesh exists (the
 /// external-fragmentation case motivating the paper).
+///
+/// Walks the mesh's incremental per-row free-interval index: for each base
+/// row the free runs of the `l` stacked rows are intersected and the first
+/// intersection at least `w` wide wins. Cost is proportional to the number
+/// of free intervals, not to `W × L`.
 pub fn find_free_submesh(mesh: &Mesh, w: u16, l: u16) -> Option<SubMesh> {
     if w == 0 || l == 0 || w > mesh.width() || l > mesh.length() {
         return None;
     }
-    let sums = OccupancySums::new(mesh);
-    find_free_submesh_with(&sums, mesh.width(), mesh.length(), w, l)
+    let mut acc: Vec<(u16, u16)> = Vec::new();
+    let mut next: Vec<(u16, u16)> = Vec::new();
+    for y in 0..=(mesh.length() - l) {
+        acc.clear();
+        acc.extend_from_slice(mesh.row_free_intervals(y));
+        for r in (y + 1)..(y + l) {
+            if acc.is_empty() {
+                break;
+            }
+            intersect_intervals(&acc, mesh.row_free_intervals(r), &mut next);
+            std::mem::swap(&mut acc, &mut next);
+        }
+        if let Some(&(a, _)) = acc.iter().find(|&&(a, b)| b - a + 1 >= w) {
+            return Some(SubMesh::from_base_size(Coord::new(a, y), w, l));
+        }
+    }
+    None
 }
 
 /// As [`find_free_submesh`], but reusing an already-built [`OccupancySums`]
@@ -121,7 +164,6 @@ pub fn largest_free_rect_near(
     if cap_w == 0 || cap_l == 0 {
         return None;
     }
-    let occ = mesh.occupancy();
     let mut heights = vec![0usize; w];
     // lexicographic objective: maximize area, then minimize distance of
     // the rectangle centre to the anchor (0 when no anchor)
@@ -137,35 +179,47 @@ pub fn largest_free_rect_near(
         }
     };
 
+    // Histogram-of-heights sweep driven by the incremental free-interval
+    // index: per row, heights are bumped only inside free runs (occupied
+    // spans are bulk-reset), and window starts are enumerated per free
+    // run — candidate rectangles of a row always lie inside one of its
+    // free runs, so this visits exactly the candidates the full-grid scan
+    // would, in the same order, at a cost proportional to free cells.
     for y in 0..l {
-        for x in 0..w {
-            heights[x] = if occ[y * w + x] { 0 } else { heights[x] + 1 };
-        }
-        // For each window start, extend right while tracking min height.
-        for x0 in 0..w {
-            if heights[x0] == 0 {
-                continue;
+        let ivs = mesh.row_free_intervals(y as u16);
+        let mut edge = 0usize; // first column not yet reset/bumped
+        for &(a, b) in ivs {
+            let (a, b) = (a as usize, b as usize);
+            heights[edge..a].fill(0);
+            for h in &mut heights[a..=b] {
+                *h += 1;
             }
-            let mut min_h = usize::MAX;
-            let max_x1 = (x0 + cap_w).min(w);
-            for (x1, &h1) in heights.iter().enumerate().take(max_x1).skip(x0) {
-                if h1 == 0 {
-                    break;
-                }
-                min_h = min_h.min(h1);
-                let h = min_h.min(cap_l);
-                let area = ((x1 - x0 + 1) * h) as u32;
-                let improves_area = best.as_ref().is_none_or(|(a, _, _)| area > *a);
-                let ties_area = best.as_ref().is_some_and(|(a, _, _)| area == *a);
-                if improves_area || (ties_area && anchor.is_some()) {
-                    let s = SubMesh::from_base_size(
-                        Coord::new(x0 as u16, (y + 1 - h) as u16),
-                        (x1 - x0 + 1) as u16,
-                        h as u16,
-                    );
-                    let d = dist_to_anchor(&s);
-                    if improves_area || best.as_ref().is_some_and(|(_, bd, _)| d < *bd) {
-                        best = Some((area, d, s));
+            edge = b + 1;
+        }
+        heights[edge..w].fill(0);
+        // For each window start inside a free run, extend right while
+        // tracking min height (never past the run: height drops to 0).
+        for &(ia, ib) in ivs {
+            let (ia, ib) = (ia as usize, ib as usize);
+            for x0 in ia..=ib {
+                let mut min_h = usize::MAX;
+                let max_x1 = (x0 + cap_w).min(ib + 1);
+                for (x1, &h1) in heights.iter().enumerate().take(max_x1).skip(x0) {
+                    min_h = min_h.min(h1);
+                    let h = min_h.min(cap_l);
+                    let area = ((x1 - x0 + 1) * h) as u32;
+                    let improves_area = best.as_ref().is_none_or(|(a, _, _)| area > *a);
+                    let ties_area = best.as_ref().is_some_and(|(a, _, _)| area == *a);
+                    if improves_area || (ties_area && anchor.is_some()) {
+                        let s = SubMesh::from_base_size(
+                            Coord::new(x0 as u16, (y + 1 - h) as u16),
+                            (x1 - x0 + 1) as u16,
+                            h as u16,
+                        );
+                        let d = dist_to_anchor(&s);
+                        if improves_area || best.as_ref().is_some_and(|(_, bd, _)| d < *bd) {
+                            best = Some((area, d, s));
+                        }
                     }
                 }
             }
@@ -301,6 +355,45 @@ mod tests {
         let s = largest_free_rect(&m, 3, 3).unwrap();
         assert_eq!(s.size(), 1);
         assert_eq!(s.base, Coord::new(2, 2));
+    }
+
+    #[test]
+    fn find_matches_naive_scan_on_random_meshes() {
+        // the interval-driven search must return exactly what a full
+        // row-major probe over the occupancy grid returns (same first
+        // base), on many random occupancy patterns
+        let mut seed = 99u64;
+        for case in 0..60 {
+            let mut m = Mesh::new(10, 8);
+            for y in 0..8u16 {
+                for x in 0..10u16 {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if (seed >> 33) % 10 < 3 + case % 5 {
+                        m.occupy(Coord::new(x, y));
+                    }
+                }
+            }
+            for (w, l) in [(1u16, 1u16), (2, 2), (3, 2), (2, 5), (4, 4), (10, 8)] {
+                let naive = (0..=(8 - l))
+                    .flat_map(|y| (0..=(10 - w)).map(move |x| (x, y)))
+                    .map(|(x, y)| SubMesh::from_base_size(Coord::new(x, y), w, l))
+                    .find(|s| m.submesh_free(s));
+                assert_eq!(find_free_submesh(&m, w, l), naive, "case {case} shape {w}x{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_intervals_matches_set_semantics() {
+        let a = [(0u16, 3u16), (5, 5), (8, 12)];
+        let b = [(2u16, 6u16), (9, 9), (11, 14)];
+        let mut out = Vec::new();
+        intersect_intervals(&a, &b, &mut out);
+        assert_eq!(out, vec![(2, 3), (5, 5), (9, 9), (11, 12)]);
+        intersect_intervals(&a, &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

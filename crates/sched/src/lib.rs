@@ -18,6 +18,8 @@
 //! allocate the listed jobs in order until the policy's blocking rule
 //! stops the pass, and removes jobs that start.
 
+#![warn(missing_docs)]
+
 use desim::Time;
 use std::collections::VecDeque;
 
@@ -28,8 +30,9 @@ pub struct QueuedJob {
     pub job_id: u64,
     /// Arrival time (queue order for FCFS).
     pub arrive: Time,
-    /// Requested sub-mesh shape.
+    /// Requested sub-mesh width.
     pub a: u16,
+    /// Requested sub-mesh length.
     pub b: u16,
     /// A-priori service demand estimate (total packets to be sent for the
     /// stochastic workload; scaled trace runtime for the real workload).
@@ -102,7 +105,9 @@ pub trait Scheduler {
 /// Policy selector for configs and sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
+    /// First-come-first-served (paper default; head-of-line blocking).
     Fcfs,
+    /// Shortest-Service-Demand first (paper §4).
     Ssd,
     /// Shortest-area-first (smallest processor request first).
     SjfArea,
@@ -121,6 +126,7 @@ impl SchedulerKind {
     /// The paper's two policies.
     pub const PAPER: [SchedulerKind; 2] = [SchedulerKind::Fcfs, SchedulerKind::Ssd];
 
+    /// Instantiates the policy.
     pub fn build(&self) -> Box<dyn Scheduler> {
         match *self {
             SchedulerKind::Fcfs => Box::new(Fcfs::new()),
@@ -157,6 +163,7 @@ pub struct Fcfs {
 }
 
 impl Fcfs {
+    /// An empty FCFS queue.
     pub fn new() -> Self {
         Fcfs::default()
     }
@@ -197,6 +204,7 @@ pub struct Ssd {
 }
 
 impl Ssd {
+    /// An empty SSD queue.
     pub fn new() -> Self {
         Ssd::default()
     }
@@ -246,6 +254,7 @@ pub struct ByKey {
 }
 
 impl ByKey {
+    /// A queue ordered by `key` (ascending), labelled `label`.
     pub fn new(label: &'static str, key: fn(&QueuedJob) -> (f64, Time)) -> Self {
         ByKey {
             label,
@@ -303,6 +312,7 @@ pub struct FcfsWindow {
 }
 
 impl FcfsWindow {
+    /// FCFS with a bypass window of `window` >= 1 queued jobs.
     pub fn new(window: usize) -> Self {
         assert!(window >= 1);
         FcfsWindow {
@@ -356,6 +366,7 @@ pub struct EasyBackfill {
 }
 
 impl EasyBackfill {
+    /// An empty EASY-backfilling queue.
     pub fn new() -> Self {
         EasyBackfill {
             factor: 1.0,

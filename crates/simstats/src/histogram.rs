@@ -30,6 +30,8 @@ impl Histogram {
         }
     }
 
+    /// Records one observation, bucketing it (or counting it as
+    /// under/overflow).
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         self.sum += x;
@@ -44,10 +46,12 @@ impl Histogram {
         }
     }
 
+    /// Observations recorded so far (including under/overflow).
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Mean of all recorded observations (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -56,14 +60,17 @@ impl Histogram {
         }
     }
 
+    /// Per-bucket counts, in bin order.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
 
+    /// Observations below the histogram's lower bound.
     pub fn underflow(&self) -> u64 {
         self.underflow
     }
 
+    /// Observations at or above the histogram's upper bound.
     pub fn overflow(&self) -> u64 {
         self.overflow
     }

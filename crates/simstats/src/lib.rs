@@ -11,6 +11,8 @@
 //! * [`TimeWeighted`] — time integrals for utilization,
 //! * [`Histogram`] — fixed-width distribution summaries.
 
+#![warn(missing_docs)]
+
 pub mod histogram;
 pub mod replication;
 pub mod timeweighted;

@@ -11,6 +11,7 @@ pub struct Welford {
 }
 
 impl Welford {
+    /// An empty accumulator.
     pub fn new() -> Self {
         Welford {
             n: 0,
@@ -70,10 +71,12 @@ impl Welford {
         }
     }
 
+    /// Smallest observation (+inf when empty).
     pub fn min(&self) -> f64 {
         self.min
     }
 
+    /// Largest observation (-inf when empty).
     pub fn max(&self) -> f64 {
         self.max
     }

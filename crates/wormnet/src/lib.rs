@@ -39,6 +39,8 @@
 pub mod network;
 pub mod packet;
 pub mod pattern;
+#[cfg(test)]
+pub mod reference;
 pub mod routing;
 pub mod topology;
 

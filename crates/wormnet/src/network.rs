@@ -1,11 +1,53 @@
-//! The cycle engine: injection, header arbitration, worm advancement.
+//! The channel-centric cycle engine: injection, header arbitration, worm
+//! advancement, and event-compressed time advancement.
+//!
+//! # Engine model
+//!
+//! The original engine (kept as the test oracle in `reference.rs`) visited
+//! every active packet on every cycle; blocked headers re-attempted and
+//! failed explicitly, so a contended cycle cost O(active packets) even
+//! when only a handful of worms could actually move. This engine tracks
+//! *why* each packet is waiting and touches per cycle only the packets
+//! that can progress:
+//!
+//! * **Draining** worms (streaming into the destination) act every cycle.
+//! * Headers in per-node **routing delay** are scheduled on a timer heap
+//!   and are untouched until their acquisition cycle.
+//! * **Blocked** headers sit in the waiter list of the channel they need
+//!   and are woken when it is released; the cycles they would have spent
+//!   re-attempting are accrued lazily from a timestamp, which is exactly
+//!   equivalent to the reference engine's per-cycle increments.
+//! * Packets that lost only the physical-link **bandwidth race** (possible
+//!   when virtual channels share links, i.e. on the torus) stay *eager*
+//!   and re-attempt every cycle, as in the reference engine.
+//!
+//! Arbitration fairness is preserved exactly: eligible packets are
+//! processed in the same rotating order over the active list as the
+//! reference engine, and a channel freed mid-cycle wakes its waiters into
+//! the *same* cycle if and only if their arbitration position comes later
+//! — byte-identical outcomes, verified by the equivalence property tests
+//! at the bottom of this file.
+//!
+//! # Event compression
+//!
+//! Because the engine knows why every packet is waiting, it can also tell
+//! when *nothing* in the network can change: no drainer, no eager packet,
+//! no pending wake, no injectable packet — only routing-delay timers and
+//! blocked headers whose channels cannot be released before the next
+//! timer fires. [`Network::skippable_cycles`] reports how many upcoming
+//! cycles are provably inert and [`Network::skip_cycles`] applies them in
+//! O(1) (counter bumps only), which is what lets the simulator's inner
+//! loop jump over idle and fully-blocked stretches instead of stepping
+//! them cycle by cycle. See `docs/PERFORMANCE.md` for the argument that
+//! this preserves cycle-accurate semantics.
 
 use crate::packet::{PacketId, PacketState};
 use crate::routing::route;
 use crate::topology::Topology;
 use desim::Time;
 use mesh2d::Coord;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 const FREE: u32 = u32::MAX;
 
@@ -30,7 +72,7 @@ pub struct Completion {
 
 /// Aggregate counters over the life of the network (never reset by
 /// draining completions).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetCounters {
     /// Packets delivered so far.
     pub delivered: u64,
@@ -40,8 +82,33 @@ pub struct NetCounters {
     pub total_blocked: u64,
     /// Summed router-to-router hop counts over delivered packets.
     pub total_hops: u64,
-    /// Cycles the network has been stepped.
+    /// Cycles the network has been advanced (stepped or skipped).
     pub cycles: u64,
+}
+
+/// Why a packet slot is (or is not) eligible to act in upcoming cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sched {
+    /// Still in its source PE's injection queue (or slot unused).
+    Queued,
+    /// Header in per-node routing delay: it attempts its next channel
+    /// acquisition in the cycle with this stamp, and is inert until then.
+    AttemptAt(u64),
+    /// Header blocked on busy channel `ch`; the slot sits in that
+    /// channel's waiter list and accrues blocked cycles lazily starting
+    /// at stamp `from`.
+    Waiting { ch: u32, from: u64 },
+    /// The awaited channel was released; the packet re-attempts at its
+    /// next arbitration opportunity, accruing `from..attempt` blocked
+    /// cycles first.
+    Waking { from: u64 },
+    /// Re-attempts every cycle: its channel was free but it lost the
+    /// physical-link bandwidth race (only possible when virtual channels
+    /// share links, i.e. on the torus).
+    Eager,
+    /// Header reached the ejection port; the worm streams one flit per
+    /// cycle into the destination PE.
+    Draining,
 }
 
 /// The wormhole network simulator. See the crate docs for the model.
@@ -57,6 +124,29 @@ pub struct Network {
     free_slots: Vec<u32>,
     /// Slots of packets currently inside the network.
     active: Vec<u32>,
+    /// Position of each slot in `active` (parallel to `packets`).
+    pos: Vec<u32>,
+    /// Scheduling state per slot (parallel to `packets`).
+    sched: Vec<Sched>,
+    /// Head of each channel's intrusive waiter list (`NO_WAITER` when
+    /// empty); a packet waits on at most one channel, so a single `next`
+    /// pointer per slot threads the lists through the slab.
+    waiter_head: Vec<u32>,
+    /// Next waiter in the same channel's list (parallel to `packets`).
+    waiter_next: Vec<u32>,
+    /// Routing-delay timers: (attempt stamp, slot), earliest first.
+    attempts: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Slots woken for the next cycle (their channel was freed by a
+    /// packet at an earlier arbitration position this cycle).
+    wake_queue: Vec<u32>,
+    /// Slots that re-attempt every cycle (bandwidth-starved; torus only).
+    eager: Vec<u32>,
+    /// Draining slots (act every cycle).
+    drainers: Vec<u32>,
+    /// Position of each slot in `drainers` (parallel to `packets`).
+    drain_pos: Vec<u32>,
+    /// Scratch arbitration heap for one cycle's eligible packets.
+    cycle_heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Per-node injection FIFO (packet slots waiting to enter).
     inject_q: Vec<VecDeque<u32>>,
     /// Nodes with non-empty injection queues.
@@ -71,9 +161,17 @@ pub struct Network {
     /// share its bandwidth, so at most one worm crossing a physical link
     /// may advance per cycle.
     phys_stamp: Vec<u64>,
+    /// Whether any physical resource is shared (VCs > 1). On the paper's
+    /// single-VC mesh every physical resource has exactly one virtual
+    /// channel, so a bandwidth claim can never fail and the per-shift
+    /// claim walk is skipped entirely.
+    shared_bandwidth: bool,
     /// Current cycle stamp (monotone; independent of the caller's clock).
     stamp: u64,
 }
+
+/// Sentinel for an empty intrusive waiter list.
+const NO_WAITER: u32 = u32::MAX;
 
 impl Network {
     /// Creates an idle network over a `w × l` mesh (single virtual
@@ -89,6 +187,7 @@ impl Network {
         let nodes = topo.nodes() as usize;
         let channels = topo.num_channels() as usize;
         let phys = topo.num_physical() as usize;
+        let shared_bandwidth = topo.vcs() > 1;
         Network {
             topo,
             ts,
@@ -96,12 +195,23 @@ impl Network {
             packets: Vec::new(),
             free_slots: Vec::new(),
             active: Vec::new(),
+            pos: Vec::new(),
+            sched: Vec::new(),
+            waiter_head: vec![NO_WAITER; channels],
+            waiter_next: Vec::new(),
+            attempts: BinaryHeap::new(),
+            wake_queue: Vec::new(),
+            eager: Vec::new(),
+            drainers: Vec::new(),
+            drain_pos: Vec::new(),
+            cycle_heap: BinaryHeap::new(),
             inject_q: vec![VecDeque::new(); nodes],
             pending_nodes: Vec::new(),
             completed: Vec::new(),
             counters: NetCounters::default(),
             rr: 0,
             phys_stamp: vec![0; phys],
+            shared_bandwidth,
             stamp: 0,
         }
     }
@@ -155,10 +265,15 @@ impl Network {
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.packets[s as usize] = Some(pkt);
+                self.sched[s as usize] = Sched::Queued;
                 s
             }
             None => {
                 self.packets.push(Some(pkt));
+                self.pos.push(0);
+                self.sched.push(Sched::Queued);
+                self.drain_pos.push(0);
+                self.waiter_next.push(NO_WAITER);
                 (self.packets.len() - 1) as u32
             }
         };
@@ -175,34 +290,75 @@ impl Network {
         std::mem::take(&mut self.completed)
     }
 
+    /// Arbitration key of `slot` for the current cycle: its distance (in
+    /// active-list positions) from the rotating round-robin head. Lower
+    /// keys act first, exactly as the reference engine's scan order.
+    #[inline]
+    fn order_key(&self, slot: u32) -> u32 {
+        let n = self.active.len();
+        let p = self.pos[slot as usize] as usize;
+        ((p + n - self.rr) % n) as u32
+    }
+
     /// Advances the network one cycle. `now` is the absolute time of the
     /// cycle being simulated (used to stamp injection and delivery times).
     pub fn step(&mut self, now: Time) {
         self.counters.cycles += 1;
         self.stamp += 1;
+        let s = self.stamp;
 
         // --- movement phase -------------------------------------------------
-        // Iterate active packets starting from a rotating offset so no
-        // packet systematically wins channel arbitration.
+        // Gather the packets that can possibly act this cycle — drainers,
+        // expired routing delays, woken waiters, eager re-attempters —
+        // and process them in rotating-arbitration order. Packets blocked
+        // on busy channels and unexpired routing delays are untouched.
         let n = self.active.len();
         if n > 0 {
             self.rr = (self.rr + 1) % n;
-            let mut i = 0;
-            let mut done_slots: Vec<usize> = Vec::new();
-            while i < n {
-                let idx = (self.rr + i) % n;
-                let slot = self.active[idx] as usize;
-                if self.advance_packet(slot, now) {
-                    done_slots.push(idx);
-                }
-                i += 1;
+            debug_assert!(self.cycle_heap.is_empty());
+            for i in 0..self.drainers.len() {
+                let slot = self.drainers[i];
+                self.cycle_heap.push(Reverse((self.order_key(slot), slot)));
             }
-            // remove completed packets (largest index first so swap_remove
-            // does not disturb smaller indices)
-            done_slots.sort_unstable_by(|a, b| b.cmp(a));
-            for idx in done_slots {
-                let slot = self.active.swap_remove(idx);
+            while let Some(&Reverse((due, slot))) = self.attempts.peek() {
+                if due > s {
+                    break;
+                }
+                debug_assert_eq!(due, s, "missed a routing-delay timer");
+                self.attempts.pop();
+                self.cycle_heap.push(Reverse((self.order_key(slot), slot)));
+            }
+            let wakes = std::mem::take(&mut self.wake_queue);
+            for slot in &wakes {
+                self.cycle_heap.push(Reverse((self.order_key(*slot), *slot)));
+            }
+            let mut recycled = wakes;
+            recycled.clear();
+            self.wake_queue = recycled;
+            for i in 0..self.eager.len() {
+                let slot = self.eager[i];
+                self.cycle_heap.push(Reverse((self.order_key(slot), slot)));
+            }
+            self.eager.clear();
+
+            let mut done_pos: Vec<u32> = Vec::new();
+            while let Some(Reverse((key, slot))) = self.cycle_heap.pop() {
+                if self.advance_packet(slot as usize, now, key) {
+                    done_pos.push(self.pos[slot as usize]);
+                }
+            }
+            // remove completed packets (largest position first so
+            // swap_remove does not disturb smaller positions — the same
+            // order as the reference engine)
+            done_pos.sort_unstable_by(|a, b| b.cmp(a));
+            for p in done_pos {
+                let p = p as usize;
+                let slot = self.active.swap_remove(p);
+                if p < self.active.len() {
+                    self.pos[self.active[p] as usize] = p as u32;
+                }
                 self.packets[slot as usize] = None;
+                self.sched[slot as usize] = Sched::Queued;
                 self.free_slots.push(slot);
             }
         }
@@ -224,8 +380,11 @@ impl Network {
                 pkt.head = 0;
                 pkt.tail = 0;
                 pkt.injected = 1;
-                pkt.countdown = self.ts;
                 pkt.injected_at = now;
+                let due = s + self.ts as u64 + 1;
+                self.sched[front] = Sched::AttemptAt(due);
+                self.attempts.push(Reverse((due, front as u32)));
+                self.pos[front] = self.active.len() as u32;
                 self.active.push(front as u32);
                 if q.is_empty() {
                     self.pending_nodes.swap_remove(k);
@@ -243,6 +402,12 @@ impl Network {
     /// links (torus / VC > 1); on the paper's 1-VC mesh each physical
     /// resource has a single owner and this never fails.
     fn claim_bandwidth(&mut self, slot: usize, land_from: usize, land_to: usize) -> bool {
+        if !self.shared_bandwidth {
+            // 1 VC: virtual channels map 1:1 onto physical resources and
+            // channel ownership is exclusive, so two worms can never
+            // contend for bandwidth — the claim trivially succeeds
+            return true;
+        }
         let pkt = self.packets[slot].as_ref().unwrap();
         for i in land_from..=land_to {
             let phys = self.topo.physical_of(pkt.path[i]) as usize;
@@ -250,106 +415,263 @@ impl Network {
                 return false;
             }
         }
-        let path: Vec<u32> = (land_from..=land_to)
-            .map(|i| self.topo.physical_of(self.packets[slot].as_ref().unwrap().path[i]))
-            .collect();
-        for phys in path {
-            self.phys_stamp[phys as usize] = self.stamp;
+        for i in land_from..=land_to {
+            let phys = self.topo.physical_of(pkt.path[i]) as usize;
+            self.phys_stamp[phys] = self.stamp;
         }
         true
     }
 
-    /// Advances one packet by one cycle. Returns true when the packet has
-    /// fully drained and its slot should be reclaimed.
-    fn advance_packet(&mut self, slot: usize, now: Time) -> bool {
-        let pkt = self.packets[slot].as_mut().unwrap();
-        #[cfg(debug_assertions)]
-        pkt.check_invariant();
-
-        if pkt.draining {
-            // One flit streams into the destination PE per cycle — if the
-            // physical links under the worm have bandwidth left this cycle.
-            let injecting = pkt.injected < pkt.len_flits;
-            let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
-            let land_to = pkt.path.len() - 1;
-            if land_from <= land_to && !self.claim_bandwidth(slot, land_from, land_to) {
-                let pkt = self.packets[slot].as_mut().unwrap();
-                pkt.blocked_cycles += 1;
-                return false;
-            }
-            let pkt = self.packets[slot].as_mut().unwrap();
-            pkt.ejected += 1;
-            if pkt.injected < pkt.len_flits {
-                // a fresh flit enters the inject channel in the same shift
-                pkt.injected += 1;
+    /// Releases channel `ch` and wakes its waiters. A waiter whose
+    /// arbitration position comes after `key` (the releasing packet's
+    /// position) attempts within the *current* cycle — in the reference
+    /// engine it would scan the channel after the release. A waiter that
+    /// already had its (failed) attempt this cycle is queued for the next.
+    fn release_channel(&mut self, ch: usize, key: u32) {
+        self.owner[ch] = FREE;
+        let mut w = self.waiter_head[ch];
+        if w == NO_WAITER {
+            return;
+        }
+        self.waiter_head[ch] = NO_WAITER;
+        while w != NO_WAITER {
+            let Sched::Waiting { ch: c2, from } = self.sched[w as usize] else {
+                unreachable!("waiter list out of sync with scheduling state");
+            };
+            debug_assert_eq!(c2 as usize, ch);
+            self.sched[w as usize] = Sched::Waking { from };
+            let kw = self.order_key(w);
+            if kw > key {
+                self.cycle_heap.push(Reverse((kw, w)));
             } else {
-                // tail flit moved forward: release the rearmost channel
-                self.owner[pkt.path[pkt.tail].index()] = FREE;
-                pkt.tail += 1;
+                self.wake_queue.push(w);
             }
-            if pkt.ejected == pkt.len_flits {
-                let c = Completion {
-                    tag: pkt.tag,
-                    delivered_at: now,
-                    latency: now - pkt.injected_at,
-                    blocked: pkt.blocked_cycles,
-                    queue_delay: pkt.injected_at - pkt.queued_at,
-                    hops: pkt.hops(),
-                };
-                self.counters.delivered += 1;
-                self.counters.total_latency += c.latency;
-                self.counters.total_blocked += c.blocked;
-                self.counters.total_hops += c.hops as u64;
-                self.completed.push(c);
-                return true;
-            }
-            return false;
+            let next = self.waiter_next[w as usize];
+            self.waiter_next[w as usize] = NO_WAITER;
+            w = next;
         }
+    }
 
-        // Header still carving the route.
-        if pkt.countdown > 0 {
-            pkt.countdown -= 1;
-            return false;
+    /// Advances one eligible packet by one cycle. `key` is its arbitration
+    /// position this cycle. Returns true when the packet has fully drained
+    /// and its slot should be reclaimed.
+    fn advance_packet(&mut self, slot: usize, now: Time, key: u32) -> bool {
+        #[cfg(debug_assertions)]
+        self.packets[slot].as_ref().unwrap().check_invariant();
+        let s = self.stamp;
+        match self.sched[slot] {
+            Sched::Draining => {
+                let pkt = self.packets[slot].as_ref().unwrap();
+                // One flit streams into the destination PE per cycle — if
+                // the physical links under the worm have bandwidth left.
+                let injecting = pkt.injected < pkt.len_flits;
+                let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
+                let land_to = pkt.path.len() - 1;
+                if land_from <= land_to && !self.claim_bandwidth(slot, land_from, land_to) {
+                    self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+                    return false;
+                }
+                let pkt = self.packets[slot].as_mut().unwrap();
+                pkt.ejected += 1;
+                if pkt.injected < pkt.len_flits {
+                    // a fresh flit enters the inject channel in the same shift
+                    pkt.injected += 1;
+                } else {
+                    // tail flit moved forward: release the rearmost channel
+                    let freed = pkt.path[pkt.tail].index();
+                    pkt.tail += 1;
+                    self.release_channel(freed, key);
+                }
+                let pkt = self.packets[slot].as_ref().unwrap();
+                if pkt.ejected == pkt.len_flits {
+                    let c = Completion {
+                        tag: pkt.tag,
+                        delivered_at: now,
+                        latency: now - pkt.injected_at,
+                        blocked: pkt.blocked_cycles,
+                        queue_delay: pkt.injected_at - pkt.queued_at,
+                        hops: pkt.hops(),
+                    };
+                    self.counters.delivered += 1;
+                    self.counters.total_latency += c.latency;
+                    self.counters.total_blocked += c.blocked;
+                    self.counters.total_hops += c.hops as u64;
+                    self.completed.push(c);
+                    // drop out of the per-cycle drainer set
+                    let dp = self.drain_pos[slot] as usize;
+                    self.drainers.swap_remove(dp);
+                    if dp < self.drainers.len() {
+                        self.drain_pos[self.drainers[dp] as usize] = dp as u32;
+                    }
+                    return true;
+                }
+                false
+            }
+            Sched::AttemptAt(due) => {
+                debug_assert_eq!(due, s, "routing-delay timer fired off-cycle");
+                self.try_advance_header(slot, now, key)
+            }
+            Sched::Waking { from } => {
+                // settle the blocked cycles the reference engine would
+                // have accrued one by one while the channel stayed busy
+                self.packets[slot].as_mut().unwrap().blocked_cycles += s - from;
+                self.try_advance_header(slot, now, key)
+            }
+            Sched::Eager => self.try_advance_header(slot, now, key),
+            Sched::Queued | Sched::Waiting { .. } => {
+                unreachable!("inert packet reached the arbitration heap")
+            }
         }
+    }
+
+    /// One header acquisition attempt (the reference engine's
+    /// countdown-expired path), with waiter-list bookkeeping on failure.
+    fn try_advance_header(&mut self, slot: usize, _now: Time, key: u32) -> bool {
+        let s = self.stamp;
+        let pkt = self.packets[slot].as_ref().unwrap();
+        debug_assert!(!pkt.draining);
         let next = pkt.head + 1;
         let next_ch = pkt.path[next];
         if self.owner[next_ch.index()] != FREE {
-            // wormhole blocking: hold every occupied channel and wait
-            pkt.blocked_cycles += 1;
+            // wormhole blocking: hold every occupied channel and wait on
+            // the busy one; cycles until the wake accrue lazily
+            self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+            self.sched[slot] = Sched::Waiting {
+                ch: next_ch.index() as u32,
+                from: s + 1,
+            };
+            self.waiter_next[slot] = self.waiter_head[next_ch.index()];
+            self.waiter_head[next_ch.index()] = slot as u32;
             return false;
         }
         // bandwidth: the shift lands flits in [tail(+1) ..= next]
         let injecting = pkt.injected < pkt.len_flits;
         let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
         if !self.claim_bandwidth(slot, land_from, next) {
-            let pkt = self.packets[slot].as_mut().unwrap();
-            pkt.blocked_cycles += 1;
+            // channel free but the physical link is saturated this cycle:
+            // must re-attempt every cycle, like the reference engine
+            self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+            self.sched[slot] = Sched::Eager;
+            self.eager.push(slot as u32);
             return false;
         }
-        let pkt = self.packets[slot].as_mut().unwrap();
         // acquire and shift the worm forward one slot
+        let pkt = self.packets[slot].as_mut().unwrap();
         self.owner[next_ch.index()] = slot as u32;
         pkt.head = next;
+        let mut freed: Option<usize> = None;
         if pkt.injected < pkt.len_flits {
             pkt.injected += 1; // new flit enters behind; tail stays
         } else {
-            self.owner[pkt.path[pkt.tail].index()] = FREE;
+            let f = pkt.path[pkt.tail].index();
             pkt.tail += 1;
+            freed = Some(f);
         }
         if next == pkt.path.len() - 1 {
             pkt.draining = true; // header reached the ejection port
+            self.sched[slot] = Sched::Draining;
+            self.drain_pos[slot] = self.drainers.len() as u32;
+            self.drainers.push(slot as u32);
         } else {
-            pkt.countdown = self.ts; // routing delay at the node just entered
+            // routing delay at the node just entered
+            let due = s + self.ts as u64 + 1;
+            self.sched[slot] = Sched::AttemptAt(due);
+            self.attempts.push(Reverse((due, slot as u32)));
+        }
+        if let Some(f) = freed {
+            self.release_channel(f, key);
         }
         false
     }
 
+    /// Number of upcoming cycles in which provably *nothing* in the
+    /// network can change (no packet can move, inject, or complete): the
+    /// stretch until the earliest routing-delay timer can fire. Returns 0
+    /// when the next cycle must be simulated. The skipped cycles' only
+    /// effects — routing-delay countdowns, blocked-cycle accrual, the
+    /// arbitration rotation — are applied in O(1) by
+    /// [`Network::skip_cycles`].
+    pub fn skippable_cycles(&self) -> u64 {
+        if !self.drainers.is_empty() || !self.eager.is_empty() || !self.wake_queue.is_empty() {
+            return 0;
+        }
+        // a queued packet whose injection channel is free enters next cycle
+        for &node in &self.pending_nodes {
+            let front = *self.inject_q[node as usize].front().unwrap() as usize;
+            let inj = self.packets[front].as_ref().unwrap().path[0];
+            if self.owner[inj.index()] == FREE {
+                return 0;
+            }
+        }
+        // every active packet is now Waiting or AttemptAt; nothing can
+        // happen before the earliest timer fires
+        match self.attempts.peek() {
+            Some(&Reverse((due, _))) => due - self.stamp - 1,
+            None => 0,
+        }
+    }
+
+    /// Applies `k` provably inert cycles at once: bumps the cycle
+    /// counters and the arbitration rotation. Callers must not pass more
+    /// than [`Network::skippable_cycles`] reported.
+    pub fn skip_cycles(&mut self, k: u64) {
+        self.counters.cycles += k;
+        self.stamp += k;
+        let n = self.active.len();
+        if n > 0 {
+            self.rr = (self.rr + (k % n as u64) as usize) % n;
+        }
+    }
+
+    /// The earliest absolute cycle at or after which the network state can
+    /// change, given the current time `now` — `None` when the network is
+    /// idle (it then changes only through [`Network::send`]). The gap to
+    /// `now` is computed in O(pending nodes), not by stepping.
+    pub fn next_progress_time(&self, now: Time) -> Option<Time> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now + 1 + self.skippable_cycles())
+        }
+    }
+
+    /// Advances the network from `now` to at most `until`, compressing
+    /// inert stretches, and stopping early at the end of any cycle that
+    /// delivered a packet (so the caller can react to completions).
+    /// Returns the time reached. Callers should have drained pending
+    /// completions first — the early stop checks the completion buffer.
+    pub fn advance_until(&mut self, mut now: Time, until: Time) -> Time {
+        while now < until {
+            if self.is_idle() {
+                return until;
+            }
+            let k = self.skippable_cycles().min(until - now);
+            if k > 0 {
+                self.skip_cycles(k);
+                now += k;
+                continue;
+            }
+            now += 1;
+            self.step(now);
+            if !self.completed.is_empty() {
+                break;
+            }
+        }
+        now
+    }
+
     /// Runs the network until idle, starting at `start`; returns the first
     /// idle cycle. Intended for tests and standalone experiments — the full
-    /// simulator interleaves `step` with job-level events instead.
+    /// simulator interleaves compressed advancement with job-level events
+    /// instead.
     pub fn run_until_idle(&mut self, start: Time) -> Time {
         let mut t = start;
         while !self.is_idle() {
+            let k = self.skippable_cycles();
+            if k > 0 {
+                self.skip_cycles(k);
+                t += k;
+            }
             self.step(t);
             t += 1;
         }
@@ -487,6 +809,10 @@ mod tests {
         assert!(n.is_idle());
         // all channels released
         assert!(n.owner.iter().all(|&o| o == FREE));
+        // and no stale scheduling state survives
+        assert!(n.waiter_head.iter().all(|&w| w == NO_WAITER));
+        assert!(n.drainers.is_empty() && n.eager.is_empty() && n.wake_queue.is_empty());
+        assert!(n.attempts.is_empty());
     }
 
     #[test]
@@ -549,5 +875,95 @@ mod tests {
         assert!(!n.is_idle());
         n.run_until_idle(0);
         assert!(n.is_idle());
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_stepping() {
+        // the compressed and cycle-by-cycle advancement of the *same*
+        // engine must agree exactly (this is the core event-compression
+        // invariant: skipped cycles change nothing)
+        let traffic: Vec<(Coord, Coord)> = vec![
+            (Coord::new(0, 0), Coord::new(7, 5)),
+            (Coord::new(1, 0), Coord::new(7, 5)),
+            (Coord::new(3, 3), Coord::new(0, 0)),
+            (Coord::new(7, 7), Coord::new(0, 7)),
+            (Coord::new(2, 2), Coord::new(2, 6)),
+        ];
+        let mut stepped = net(8, 8);
+        let mut skipped = net(8, 8);
+        for (i, &(s, d)) in traffic.iter().enumerate() {
+            stepped.send(s, d, PLEN, i as u64, 0);
+            skipped.send(s, d, PLEN, i as u64, 0);
+        }
+        let mut t = 0;
+        while !stepped.is_idle() {
+            stepped.step(t);
+            t += 1;
+        }
+        let end = skipped.run_until_idle(0);
+        assert_eq!(end, t);
+        assert_eq!(stepped.drain_completions(), skipped.drain_completions());
+        assert_eq!(stepped.counters(), skipped.counters());
+    }
+
+    #[test]
+    fn skippable_cycles_reports_routing_delay_stretches() {
+        // one packet alternates acquisition cycles with ts routing-delay
+        // cycles; while it counts down, the network must report the
+        // remaining stretch as skippable
+        let mut n = net(8, 8);
+        n.send(Coord::new(0, 0), Coord::new(4, 0), PLEN, 0, 0);
+        let mut t = 0;
+        n.step(t); // injection
+        let mut saw_skip = false;
+        while !n.is_idle() {
+            let k = n.skippable_cycles();
+            assert!(k <= TS as u64, "stretch cannot exceed the routing delay");
+            if k > 0 {
+                saw_skip = true;
+                n.skip_cycles(k);
+                t += k;
+            }
+            t += 1;
+            n.step(t);
+        }
+        assert!(saw_skip, "an uncontended worm must expose skippable stretches");
+    }
+
+    #[test]
+    fn next_progress_time_matches_skippable_and_idleness() {
+        let mut n = net(8, 8);
+        assert_eq!(n.next_progress_time(5), None, "idle network never progresses");
+        n.send(Coord::new(0, 0), Coord::new(4, 0), PLEN, 0, 0);
+        let mut t = 0;
+        while !n.is_idle() {
+            // the reported time is exactly the first non-inert cycle
+            let np = n.next_progress_time(t).unwrap();
+            assert_eq!(np, t + 1 + n.skippable_cycles());
+            assert!(np > t);
+            t = n.advance_until(t, np);
+            assert_eq!(t, np, "advance_until must reach the progress cycle");
+        }
+        assert_eq!(n.next_progress_time(t), None);
+        assert_eq!(n.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn advance_until_stops_at_completions_and_bound() {
+        let mut n = net(8, 8);
+        n.send(Coord::new(0, 0), Coord::new(3, 0), PLEN, 7, 0);
+        // far bound: must stop right when the packet completes
+        let t = n.advance_until(0, 1_000_000);
+        let cs = n.drain_completions();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].delivered_at, t);
+        assert!(n.is_idle());
+        // idle network: jumps straight to the bound
+        assert_eq!(n.advance_until(t, t + 500), t + 500);
+        // tight bound: never advances past it
+        n.send(Coord::new(0, 0), Coord::new(7, 7), PLEN, 8, t + 500);
+        let t2 = n.advance_until(t + 500, t + 503);
+        assert_eq!(t2, t + 503);
+        assert!(n.drain_completions().is_empty());
     }
 }

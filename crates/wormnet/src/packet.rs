@@ -37,7 +37,10 @@ pub struct PacketState {
     /// Flits consumed by the destination PE.
     pub(crate) ejected: u32,
     /// Remaining routing-delay cycles before the header may attempt its
-    /// next channel acquisition.
+    /// next channel acquisition. Only the test-gated reference engine
+    /// counts delay down cycle by cycle; the compressed engine schedules
+    /// acquisition attempts on a timer heap instead.
+    #[cfg(test)]
     pub(crate) countdown: u32,
     /// Header has reached the ejection channel; the worm is streaming into
     /// the destination PE at one flit per cycle.
@@ -59,6 +62,7 @@ impl PacketState {
             tail: 0,
             injected: 0,
             ejected: 0,
+            #[cfg(test)]
             countdown: 0,
             draining: false,
         }

@@ -1,0 +1,424 @@
+//! The reference cycle-stepper: the original O(active) per-cycle engine,
+//! kept verbatim as a validation oracle for the event-compressed engine
+//! in [`crate::network`].
+//!
+//! This module is compiled only for tests. The equivalence property tests
+//! in `network.rs` drive identical traffic through both engines (mesh and
+//! torus) and require byte-identical [`Completion`] streams and counters;
+//! any semantic drift in the optimized engine fails there first.
+
+use crate::network::{Completion, NetCounters};
+use crate::packet::{PacketId, PacketState};
+use crate::routing::route;
+use crate::topology::Topology;
+use desim::Time;
+use mesh2d::Coord;
+use std::collections::VecDeque;
+
+const FREE: u32 = u32::MAX;
+
+/// The original wormhole network engine: every active packet is visited
+/// on every cycle (blocked headers re-attempt and fail explicitly rather
+/// than waiting on a channel waiter list).
+#[derive(Debug)]
+pub struct ReferenceNetwork {
+    topo: Topology,
+    ts: u32,
+    owner: Vec<u32>,
+    packets: Vec<Option<PacketState>>,
+    free_slots: Vec<u32>,
+    active: Vec<u32>,
+    inject_q: Vec<VecDeque<u32>>,
+    pending_nodes: Vec<u32>,
+    completed: Vec<Completion>,
+    counters: NetCounters,
+    rr: usize,
+    phys_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl ReferenceNetwork {
+    /// Creates an idle reference network over an arbitrary topology.
+    pub fn with_topology(topo: Topology, ts: u32) -> Self {
+        let nodes = topo.nodes() as usize;
+        let channels = topo.num_channels() as usize;
+        let phys = topo.num_physical() as usize;
+        ReferenceNetwork {
+            topo,
+            ts,
+            owner: vec![FREE; channels],
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            active: Vec::new(),
+            inject_q: vec![VecDeque::new(); nodes],
+            pending_nodes: Vec::new(),
+            completed: Vec::new(),
+            counters: NetCounters::default(),
+            rr: 0,
+            phys_stamp: vec![0; phys],
+            stamp: 0,
+        }
+    }
+
+    /// True when no packet is in flight or queued.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.pending_nodes.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> NetCounters {
+        self.counters
+    }
+
+    /// Hands a packet to `src`'s injection queue (same contract as
+    /// [`crate::Network::send`]).
+    pub fn send(&mut self, src: Coord, dst: Coord, len_flits: u32, tag: u64, now: Time) -> PacketId {
+        let path = route(&self.topo, src, dst);
+        let pkt = PacketState::new(path, len_flits, tag, now);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.packets[s as usize] = Some(pkt);
+                s
+            }
+            None => {
+                self.packets.push(Some(pkt));
+                (self.packets.len() - 1) as u32
+            }
+        };
+        let node = (src.y as u32 * self.topo.width() as u32 + src.x as u32) as usize;
+        if self.inject_q[node].is_empty() {
+            self.pending_nodes.push(node as u32);
+        }
+        self.inject_q[node].push_back(slot);
+        PacketId(slot)
+    }
+
+    /// Removes and returns all completions recorded so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Advances the network one cycle, visiting every active packet.
+    pub fn step(&mut self, now: Time) {
+        self.counters.cycles += 1;
+        self.stamp += 1;
+
+        // --- movement phase ---
+        let n = self.active.len();
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+            let mut i = 0;
+            let mut done_slots: Vec<usize> = Vec::new();
+            while i < n {
+                let idx = (self.rr + i) % n;
+                let slot = self.active[idx] as usize;
+                if self.advance_packet(slot, now) {
+                    done_slots.push(idx);
+                }
+                i += 1;
+            }
+            done_slots.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in done_slots {
+                let slot = self.active.swap_remove(idx);
+                self.packets[slot as usize] = None;
+                self.free_slots.push(slot);
+            }
+        }
+
+        // --- injection phase ---
+        let mut k = 0;
+        while k < self.pending_nodes.len() {
+            let node = self.pending_nodes[k] as usize;
+            let q = &mut self.inject_q[node];
+            debug_assert!(!q.is_empty());
+            let front = *q.front().unwrap() as usize;
+            let inj = self.packets[front].as_ref().unwrap().path[0];
+            if self.owner[inj.index()] == FREE {
+                q.pop_front();
+                let pkt = self.packets[front].as_mut().unwrap();
+                self.owner[inj.index()] = front as u32;
+                pkt.head = 0;
+                pkt.tail = 0;
+                pkt.injected = 1;
+                pkt.countdown = self.ts;
+                pkt.injected_at = now;
+                self.active.push(front as u32);
+                if q.is_empty() {
+                    self.pending_nodes.swap_remove(k);
+                    continue;
+                }
+            }
+            k += 1;
+        }
+    }
+
+    fn claim_bandwidth(&mut self, slot: usize, land_from: usize, land_to: usize) -> bool {
+        let pkt = self.packets[slot].as_ref().unwrap();
+        for i in land_from..=land_to {
+            let phys = self.topo.physical_of(pkt.path[i]) as usize;
+            if self.phys_stamp[phys] == self.stamp {
+                return false;
+            }
+        }
+        let path: Vec<u32> = (land_from..=land_to)
+            .map(|i| self.topo.physical_of(self.packets[slot].as_ref().unwrap().path[i]))
+            .collect();
+        for phys in path {
+            self.phys_stamp[phys as usize] = self.stamp;
+        }
+        true
+    }
+
+    fn advance_packet(&mut self, slot: usize, now: Time) -> bool {
+        let pkt = self.packets[slot].as_mut().unwrap();
+        #[cfg(debug_assertions)]
+        pkt.check_invariant();
+
+        if pkt.draining {
+            let injecting = pkt.injected < pkt.len_flits;
+            let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
+            let land_to = pkt.path.len() - 1;
+            if land_from <= land_to && !self.claim_bandwidth(slot, land_from, land_to) {
+                let pkt = self.packets[slot].as_mut().unwrap();
+                pkt.blocked_cycles += 1;
+                return false;
+            }
+            let pkt = self.packets[slot].as_mut().unwrap();
+            pkt.ejected += 1;
+            if pkt.injected < pkt.len_flits {
+                pkt.injected += 1;
+            } else {
+                self.owner[pkt.path[pkt.tail].index()] = FREE;
+                pkt.tail += 1;
+            }
+            if pkt.ejected == pkt.len_flits {
+                let c = Completion {
+                    tag: pkt.tag,
+                    delivered_at: now,
+                    latency: now - pkt.injected_at,
+                    blocked: pkt.blocked_cycles,
+                    queue_delay: pkt.injected_at - pkt.queued_at,
+                    hops: pkt.hops(),
+                };
+                self.counters.delivered += 1;
+                self.counters.total_latency += c.latency;
+                self.counters.total_blocked += c.blocked;
+                self.counters.total_hops += c.hops as u64;
+                self.completed.push(c);
+                return true;
+            }
+            return false;
+        }
+
+        if pkt.countdown > 0 {
+            pkt.countdown -= 1;
+            return false;
+        }
+        let next = pkt.head + 1;
+        let next_ch = pkt.path[next];
+        if self.owner[next_ch.index()] != FREE {
+            pkt.blocked_cycles += 1;
+            return false;
+        }
+        let injecting = pkt.injected < pkt.len_flits;
+        let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
+        if !self.claim_bandwidth(slot, land_from, next) {
+            let pkt = self.packets[slot].as_mut().unwrap();
+            pkt.blocked_cycles += 1;
+            return false;
+        }
+        let pkt = self.packets[slot].as_mut().unwrap();
+        self.owner[next_ch.index()] = slot as u32;
+        pkt.head = next;
+        if pkt.injected < pkt.len_flits {
+            pkt.injected += 1;
+        } else {
+            self.owner[pkt.path[pkt.tail].index()] = FREE;
+            pkt.tail += 1;
+        }
+        if next == pkt.path.len() - 1 {
+            pkt.draining = true;
+        } else {
+            pkt.countdown = self.ts;
+        }
+        false
+    }
+
+    /// Runs the network until idle, starting at `start`; returns the first
+    /// idle cycle.
+    pub fn run_until_idle(&mut self, start: Time) -> Time {
+        let mut t = start;
+        while !self.is_idle() {
+            self.step(t);
+            t += 1;
+        }
+        t
+    }
+}
+
+/// Old-vs-new engine equivalence: identical traffic scripts must produce
+/// byte-identical completion streams and counters on both engines, on the
+/// mesh and on the torus, under the compressed *and* the cycle-by-cycle
+/// advancement of the new engine.
+#[cfg(test)]
+mod equivalence {
+    use super::ReferenceNetwork;
+    use crate::network::{Completion, NetCounters, Network};
+    use crate::pattern::{pattern_messages, Pattern};
+    use crate::topology::Topology;
+    use desim::{SimRng, Time};
+    use mesh2d::Coord;
+
+    /// A deterministic traffic script: (send time, src, dst, flits, tag),
+    /// sorted by send time.
+    type Script = Vec<(Time, Coord, Coord, u32, u64)>;
+
+    /// Runs the script on the reference engine, stepping every cycle.
+    fn run_reference(topo: Topology, ts: u32, script: &Script) -> (Vec<Completion>, NetCounters) {
+        let mut n = ReferenceNetwork::with_topology(topo, ts);
+        let mut i = 0;
+        let mut now: Time = 0;
+        loop {
+            while i < script.len() && script[i].0 == now {
+                let (_, s, d, f, tag) = script[i];
+                n.send(s, d, f, tag, now);
+                i += 1;
+            }
+            if n.is_idle() {
+                if i == script.len() {
+                    break;
+                }
+                now = script[i].0;
+                continue;
+            }
+            now += 1;
+            n.step(now);
+        }
+        (n.drain_completions(), n.counters())
+    }
+
+    /// Runs the script on the new engine using compressed advancement
+    /// (bulk-skipping inert stretches, never stepping past a send time).
+    fn run_compressed(topo: Topology, ts: u32, script: &Script) -> (Vec<Completion>, NetCounters) {
+        let mut n = Network::with_topology(topo, ts);
+        let mut i = 0;
+        let mut now: Time = 0;
+        let mut out = Vec::new();
+        loop {
+            while i < script.len() && script[i].0 == now {
+                let (_, s, d, f, tag) = script[i];
+                n.send(s, d, f, tag, now);
+                i += 1;
+            }
+            if n.is_idle() {
+                if i == script.len() {
+                    break;
+                }
+                now = script[i].0;
+                continue;
+            }
+            let mut stop = now + 1 + n.skippable_cycles();
+            if i < script.len() {
+                stop = stop.min(script[i].0);
+            }
+            now = n.advance_until(now, stop);
+            out.append(&mut n.drain_completions());
+        }
+        out.append(&mut n.drain_completions());
+        (out, n.counters())
+    }
+
+    fn assert_engines_agree(mk_topo: impl Fn() -> Topology, ts: u32, script: &Script, label: &str) {
+        let (ref_done, ref_counters) = run_reference(mk_topo(), ts, script);
+        let (new_done, new_counters) = run_compressed(mk_topo(), ts, script);
+        assert_eq!(
+            ref_done.len(),
+            new_done.len(),
+            "{label}: delivered counts diverge"
+        );
+        for (a, b) in ref_done.iter().zip(new_done.iter()) {
+            assert_eq!(a, b, "{label}: completion diverges");
+        }
+        assert_eq!(ref_counters, new_counters, "{label}: counters diverge");
+    }
+
+    /// Random job-like traffic: rectangular node populations exchanging
+    /// messages under every communication pattern, arriving in waves.
+    fn pattern_script(topo: &Topology, seed: u64, jobs: usize) -> Script {
+        let mut rng = SimRng::new(seed);
+        let (w, l) = (topo.width(), topo.length());
+        let mut script: Script = Vec::new();
+        let mut t: Time = 0;
+        for job in 0..jobs {
+            let pat = Pattern::ALL[rng.index(Pattern::ALL.len())];
+            let bw = 2 + rng.index(4) as u16;
+            let bl = 2 + rng.index(4) as u16;
+            let bx = rng.index((w - bw + 1) as usize) as u16;
+            let by = rng.index((l - bl + 1) as usize) as u16;
+            let nodes: Vec<Coord> = (by..by + bl)
+                .flat_map(|y| (bx..bx + bw).map(move |x| Coord::new(x, y)))
+                .collect();
+            let msgs = pattern_messages(pat, &nodes, 1 + rng.index(4) as u32, &mut rng);
+            for (k, (s, d)) in msgs.into_iter().enumerate() {
+                let flits = 1 + rng.index(10) as u32;
+                script.push((t, s, d, flits, (job * 10_000 + k) as u64));
+            }
+            // loads from back-to-back waves to long idle gaps, so both the
+            // contended and the compressible regimes are exercised
+            t += rng.index(120) as Time;
+        }
+        script.sort_by_key(|e| e.0);
+        script
+    }
+
+    #[test]
+    fn engines_agree_on_mesh_patterns() {
+        for seed in 0..4u64 {
+            let topo = Topology::new(8, 10);
+            let script = pattern_script(&topo, 100 + seed, 12);
+            assert_engines_agree(|| Topology::new(8, 10), 3, &script, &format!("mesh seed {seed}"));
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_torus_patterns() {
+        // the torus shares physical-link bandwidth between virtual
+        // channels, exercising the eager (bandwidth-starved) path
+        for seed in 0..4u64 {
+            let topo = Topology::new_torus(8, 10);
+            let script = pattern_script(&topo, 200 + seed, 12);
+            assert_engines_agree(
+                || Topology::new_torus(8, 10),
+                3,
+                &script,
+                &format!("torus seed {seed}"),
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_hotspots_and_zero_ts() {
+        // ts = 0 removes routing delay entirely (no skippable stretches
+        // from countdowns), and a hotspot maximizes waiter-list churn
+        for &ts in &[0u32, 1, 3] {
+            for torus in [false, true] {
+                let mk = move || {
+                    if torus {
+                        Topology::new_torus(6, 6)
+                    } else {
+                        Topology::new(6, 6)
+                    }
+                };
+                let mut rng = SimRng::new(ts as u64 + 7);
+                let mut script: Script = Vec::new();
+                for k in 0..60u64 {
+                    let s = Coord::new(rng.index(6) as u16, rng.index(6) as u16);
+                    script.push(((k / 6) * 3, s, Coord::new(3, 3), 4, k));
+                }
+                script.sort_by_key(|e| e.0);
+                let label = format!("hotspot ts={ts} torus={torus}");
+                assert_engines_agree(mk, ts, &script, &label);
+            }
+        }
+    }
+}
