@@ -124,7 +124,8 @@ impl AllocationStrategy for Gabl {
                     Some(c) => largest_free_rect_near(mesh, cap_w, cap_l, Some(c)),
                 };
                 // free_count >= remaining >= 1 guarantees some free rect
-                let rect = rect.expect("free processors exist but no free rectangle found");
+                // procsim-lint: allow(D004): invariant: free_count >= remaining >= 1, and any free processor is itself a 1x1 free rectangle
+                let rect = rect.expect("invariant: free processors exist but no free rectangle found");
                 let piece = Self::trim_to(rect, remaining);
                 mesh.occupy_submesh(&piece);
                 remaining -= piece.size();

@@ -21,8 +21,6 @@
 //! utilization results (§5): *allocation succeeds whenever the number of
 //! free processors is at least the request size*.
 
-#![warn(missing_docs)]
-
 pub mod contiguous;
 pub mod gabl;
 pub mod mbs;
@@ -82,6 +80,7 @@ impl Allocation {
 
     /// Total processors allocated.
     pub fn size(&self) -> u32 {
+        // procsim-lint: allow(D005): node count is bounded by the mesh size (u16 x u16 dimensions), which fits u32
         self.nodes.len() as u32
     }
 

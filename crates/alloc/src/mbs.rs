@@ -49,6 +49,9 @@ pub struct Mbs {
     /// Free lists per level, entries are (node index, epoch at push).
     free_lists: Vec<Vec<(u32, u32)>>,
     free_procs: u32,
+    /// Block indices granted to each live allocation. Accessed only by
+    /// key (insert/remove), never iterated, so the RandomState hash
+    /// order cannot leak into results (D001-audited).
     live: HashMap<u64, Vec<u32>>,
     next_id: u64,
 }
@@ -75,12 +78,17 @@ impl Mbs {
         let roots = buddy::decompose_pow2_squares(mesh.width(), mesh.length());
         let max_level = roots
             .iter()
+            // procsim-lint: allow(D005): trailing_zeros of a u16 is at most 16, which fits u8
             .map(|s| s.width().trailing_zeros() as u8)
             .max()
-            .unwrap();
+            // decompose_pow2_squares of a non-empty mesh yields at least one
+            // square; an empty mesh degenerates to a single empty free list
+            .unwrap_or(0);
         self.free_lists = vec![Vec::new(); max_level as usize + 1];
         for sub in roots {
+            // procsim-lint: allow(D005): trailing_zeros of a u16 is at most 16, which fits u8
             let level = sub.width().trailing_zeros() as u8;
+            // procsim-lint: allow(D005): the block tree holds at most ~4/3 * mesh size nodes, which fits u32
             let idx = self.nodes.len() as u32;
             self.nodes.push(BlockNode {
                 sub,
@@ -127,6 +135,7 @@ impl Mbs {
         let level = self.nodes[idx as usize].level - 1;
         let mut ids = [0u32; 4];
         for (k, q) in quads.into_iter().enumerate() {
+            // procsim-lint: allow(D005): the block tree holds at most ~4/3 * mesh size nodes, which fits u32
             let cid = self.nodes.len() as u32;
             self.nodes.push(BlockNode {
                 sub: q,
@@ -177,7 +186,10 @@ impl Mbs {
         self.push_free(idx);
         let mut cur = idx;
         while let Some(parent) = self.nodes[cur as usize].parent {
-            let kids = self.nodes[parent as usize].children.unwrap();
+            // procsim-lint: allow(D004): invariant: a node only gains a parent via split_block, which records all four children
+            let kids = self.nodes[parent as usize]
+                .children
+                .expect("invariant: parent block without children");
             let all_free = kids
                 .iter()
                 .all(|&k| self.nodes[k as usize].state == BlockState::Free);
@@ -258,8 +270,9 @@ impl AllocationStrategy for Mbs {
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
         let blocks = self
             .live
+            // procsim-lint: allow(D004): invariant: the simulator only releases allocations this allocator minted, exactly once
             .remove(&alloc.id.0)
-            .expect("release of unknown allocation");
+            .expect("invariant: release of unknown allocation");
         for idx in blocks {
             let sub = self.nodes[idx as usize].sub;
             debug_assert_eq!(self.nodes[idx as usize].state, BlockState::Allocated);

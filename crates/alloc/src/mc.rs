@@ -51,6 +51,7 @@ impl Mc {
                     let c = Coord::new(x as u16, y as u16);
                     if mesh.is_free(c) {
                         cells.push(c);
+                        // procsim-lint: allow(D005): cells never exceeds p, a job size bounded by the u32 mesh size
                         if cells.len() as u32 == p {
                             return (r as u32, cells);
                         }
@@ -78,6 +79,7 @@ impl AllocationStrategy for Mc {
         let mut best: Option<(u32, Vec<Coord>)> = None;
         for centre in mesh.iter_free().collect::<Vec<_>>() {
             let (r, cells) = Self::cluster_from(mesh, centre, p);
+            // procsim-lint: allow(D005): cluster_from caps cells at p, a job size bounded by the u32 mesh size
             if cells.len() as u32 != p {
                 continue;
             }

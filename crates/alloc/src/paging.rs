@@ -21,7 +21,9 @@ pub struct Paging {
     free: Vec<bool>,
     /// Free processors summed over free pages.
     free_procs: u32,
-    /// Page positions granted to each live allocation.
+    /// Page positions granted to each live allocation. Accessed only by
+    /// key (insert/remove), never iterated, so the RandomState hash
+    /// order cannot leak into results (D001-audited).
     live: HashMap<u64, Vec<usize>>,
     next_id: u64,
 }
@@ -86,8 +88,9 @@ impl AllocationStrategy for Paging {
     fn release(&mut self, mesh: &mut Mesh, alloc: Allocation) {
         let pages = self
             .live
+            // procsim-lint: allow(D004): invariant: the simulator only releases allocations this allocator minted, exactly once
             .remove(&alloc.id.0)
-            .expect("release of unknown allocation");
+            .expect("invariant: release of unknown allocation");
         for &i in &pages {
             debug_assert!(!self.free[i], "page double free");
             self.free[i] = true;

@@ -20,6 +20,7 @@ fn main() {
         let mut gabl = Gabl::new();
         let mut rng = SimRng::new(999);
         let mut live = Vec::new();
+        // procsim-lint: allow(D005): 0.7 * mesh size is below the u32 mesh size
         let target = (mesh.size() as f64 * 0.7) as u32;
         for _ in 0..5000 {
             if mesh.used_count() < target || live.is_empty() {

@@ -3,10 +3,15 @@
 /// Which response variable a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
+    /// Mean job turnaround time (queue wait + service).
     Turnaround,
+    /// Mean job service time (allocation to departure).
     Service,
+    /// Mean system utilization under saturation.
     Utilization,
+    /// Mean per-packet blocking time in the network.
     Blocking,
+    /// Mean per-packet network latency.
     Latency,
 }
 
@@ -22,6 +27,7 @@ impl Metric {
         }
     }
 
+    /// Axis label as printed on the paper's figures.
     pub fn label(&self) -> &'static str {
         match self {
             Metric::Turnaround => "avg turnaround time",
@@ -45,6 +51,7 @@ pub enum WorkloadKind {
 }
 
 impl WorkloadKind {
+    /// Human-readable workload description for figure titles.
     pub fn label(&self) -> &'static str {
         match self {
             WorkloadKind::RealTrace => "real workload (synthetic SDSC Paragon trace)",
@@ -59,7 +66,9 @@ impl WorkloadKind {
 pub struct FigureSpec {
     /// Paper figure number (2–16).
     pub id: u8,
+    /// Response variable plotted.
     pub metric: Metric,
+    /// Workload class driving the runs.
     pub workload: WorkloadKind,
     /// Load sweep (jobs per time unit). Utilization figures use a single
     /// heavy load that saturates the queue ("the waiting queue is filled
@@ -68,6 +77,7 @@ pub struct FigureSpec {
 }
 
 impl FigureSpec {
+    /// Full figure title, matching the paper's caption style.
     pub fn title(&self) -> String {
         format!(
             "Figure {}: {} vs. system load, all-to-all, {} in a 16x22 mesh",

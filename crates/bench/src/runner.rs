@@ -118,12 +118,14 @@ impl RunMode {
 /// One figure's regenerated data: a point per (series, load).
 #[derive(Debug)]
 pub struct FigureData {
+    /// The figure this data regenerates.
     pub spec: &'static FigureSpec,
     /// Topology the figure was run on (mesh = the paper's protocol).
     pub topology: TopologyKind,
     /// Row-major: series outer, loads inner, matching
     /// [`FigureData::series_labels`].
     pub points: Vec<PointResult>,
+    /// One label per series, in `points` row order.
     pub series_labels: Vec<String>,
 }
 

@@ -77,7 +77,12 @@ impl WorkloadSpec {
                 if jobs.len() < 2 {
                     return 0.0;
                 }
-                let span = jobs.last().unwrap().arrive.saturating_sub(jobs[0].arrive);
+                // procsim-lint: allow(D004): invariant: the len < 2 guard above means last() is Some
+                let span = jobs
+                    .last()
+                    .expect("invariant: non-empty job list")
+                    .arrive
+                    .saturating_sub(jobs[0].arrive);
                 if span == 0 {
                     0.0
                 } else {

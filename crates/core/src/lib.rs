@@ -27,8 +27,6 @@
 //! Parallelism is controlled by the CLI `--threads N` flag or the
 //! `PROCSIM_THREADS` environment variable; see [`pool`].
 
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod metrics;
 pub mod pool;

@@ -74,6 +74,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("procsim-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // procsim-lint: allow(D004): OS thread spawn failing at pool construction is unrecoverable; abort with a clear message
                     .expect("spawn pool worker")
             })
             .collect();
@@ -90,7 +91,13 @@ impl WorkerPool {
     /// Jobs run in FIFO submission order (up to `threads()` concurrently).
     /// The job must not block on this pool — workers are not reentrant.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut st = self.shared.state.lock().unwrap();
+        // workers catch job panics, so a poisoned lock still guards
+        // coherent state; recover rather than cascade the panic
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         st.jobs.push_back(Box::new(job));
         drop(st);
         self.shared.available.notify_one();
@@ -99,7 +106,11 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .shutdown = true;
         self.shared.available.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -110,7 +121,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(job) = st.jobs.pop_front() {
                     break job;
@@ -118,7 +129,10 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown {
                     return;
                 }
-                st = shared.available.wait(st).unwrap();
+                st = shared
+                    .available
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
             }
         };
         // A panicking job must not kill the worker — on a small pool that

@@ -180,7 +180,8 @@ pub fn run_points_controlled(
     }
 
     while pending > 0 {
-        let (point, rep, result) = rx.recv().expect("pool worker result");
+        // procsim-lint: allow(D004): invariant: tx is alive in this scope and pending > 0 means a worker still holds a clone
+        let (point, rep, result) = rx.recv().expect("invariant: pool worker result");
         pending -= 1;
         let st = &mut states[point];
         st.results[rep] = Some(result);
@@ -276,7 +277,8 @@ pub fn run_point_on(
 ) -> PointResult {
     run_points_on(pool, std::slice::from_ref(cfg), min_reps, max_reps)
         .pop()
-        .expect("one result per config")
+        // procsim-lint: allow(D004): invariant: run_points_on returns exactly one result per input config
+        .expect("invariant: one result per config")
 }
 
 /// The sequential reference path: one replication at a time on the

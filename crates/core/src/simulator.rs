@@ -7,7 +7,7 @@ use mesh2d::Mesh;
 use mesh_alloc::{Allocation, AllocationStrategy};
 use mesh_sched::{QueuedJob, RunningJob, Scheduler};
 use simstats::{TimeWeighted, Welford};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use workload::{trace_to_jobs, JobSpec, StochasticGen};
 use wormnet::{pattern_messages, Network, Topology, TopologyKind};
@@ -111,7 +111,14 @@ pub struct Simulator {
     wl_rng: SimRng,
     pat_rng: SimRng,
     source: Source,
-    jobs: HashMap<u64, JobState>,
+    /// Live job states keyed by internal id. A BTreeMap, not a HashMap:
+    /// `schedule_pass` iterates this map to build the running-job
+    /// snapshot for reservation-aware schedulers, and EASY's
+    /// reservation sort is stable — HashMap's RandomState order would
+    /// escape into backfilling decisions through equal-completion ties.
+    /// BTreeMap iterates in internal-id (arrival) order, identically in
+    /// every process.
+    jobs: BTreeMap<u64, JobState>,
     completed: usize,
     util: TimeWeighted,
     turn: Welford,
@@ -221,7 +228,7 @@ impl Simulator {
             wl_rng,
             pat_rng,
             source,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             completed: 0,
             util: TimeWeighted::new(0, 0.0),
             turn: Welford::new(),
@@ -339,11 +346,13 @@ impl Simulator {
             let mut started = false;
             for id in order {
                 let (a, b) = {
-                    let js = self.jobs.get(&id).expect("queued job without state");
+                    // procsim-lint: allow(D004): invariant: every id in attempt_order was enqueued with a JobState in Ev::Arrival
+                    let js = self.jobs.get(&id).expect("invariant: queued job without state");
                     (js.spec.a, js.spec.b)
                 };
                 if let Some(alloc) = self.strategy.allocate(&mut self.mesh, a, b) {
-                    self.scheduler.remove(id).expect("job vanished from queue");
+                    // procsim-lint: allow(D004): invariant: id came from this scheduler's own attempt_order this pass
+                    self.scheduler.remove(id).expect("invariant: job vanished from queue");
                     self.start_job(id, alloc);
                     started = true;
                     break;
@@ -357,12 +366,14 @@ impl Simulator {
 
     fn start_job(&mut self, id: u64, alloc: Allocation) {
         self.util.update(self.now, self.mesh.used_count() as f64);
-        let js = self.jobs.get_mut(&id).expect("started job without state");
+        // procsim-lint: allow(D004): invariant: start_job is only reached from schedule_pass with a live queued id
+        let js = self.jobs.get_mut(&id).expect("invariant: started job without state");
         js.start = self.now;
         js.alloc = Some(alloc);
         // the rank → coordinate layout was expanded once when the
         // allocation was built; every use below indexes the cached slice
-        let nodes = js.alloc.as_ref().unwrap().nodes();
+        // procsim-lint: allow(D004): invariant: js.alloc was assigned Some two lines above
+        let nodes = js.alloc.as_ref().expect("invariant: alloc just set").nodes();
         let msgs_per_node = js.spec.msgs_per_node;
         let msgs = pattern_messages(self.cfg.pattern, nodes, msgs_per_node, &mut self.pat_rng);
         if msgs.is_empty() {
@@ -386,15 +397,18 @@ impl Simulator {
             vec![std::collections::VecDeque::new(); nodes.len()];
         for (src, dst) in &msgs {
             let i = rank_index
+                // procsim-lint: allow(D004): invariant: pattern_messages only emits sources drawn from `nodes` itself
                 .binary_search_by_key(&(src.y, src.x), |&(c, _)| (c.y, c.x))
-                .expect("pattern message from a coordinate outside the allocation");
+                .expect("invariant: pattern message from a coordinate outside the allocation");
             sends[rank_index[i].1 as usize].push_back(*dst);
         }
+        // procsim-lint: allow(D005): message count <= nodes * msgs_per_node <= 2^20 * 2^16, and outstanding mirrors per-send decrements
         js.outstanding = msgs.len() as u32;
         js.sends = sends;
         // closed loop: every rank launches its first message; subsequent
         // messages go out as deliveries come back
-        let alloc = js.alloc.as_ref().unwrap();
+        // procsim-lint: allow(D004): invariant: alloc was set Some at the top of start_job
+        let alloc = js.alloc.as_ref().expect("invariant: alloc set above");
         let first: Vec<(usize, mesh2d::Coord, mesh2d::Coord)> = js
             .sends
             .iter_mut()
@@ -408,7 +422,8 @@ impl Simulator {
     }
 
     fn depart(&mut self, id: u64) {
-        let js = self.jobs.remove(&id).expect("departure of unknown job");
+        // procsim-lint: allow(D004): invariant: depart is driven by LocalDone/last-packet events of jobs still in the map
+        let js = self.jobs.remove(&id).expect("invariant: departure of unknown job");
         debug_assert_eq!(js.outstanding, 0);
         if let Some(alloc) = js.alloc {
             let frags = alloc.fragments();
@@ -448,15 +463,17 @@ impl Simulator {
             let (job_id, rank) = decode_tag(c.tag);
             let js = self
                 .jobs
+                // procsim-lint: allow(D004): invariant: packet tags are minted from live job ids and jobs outlive their outstanding packets
                 .get_mut(&job_id)
-                .expect("packet completion for unknown job");
+                .expect("invariant: packet completion for unknown job");
             js.lat_sum += c.latency;
             js.blk_sum += c.blocked;
             js.pkts += 1;
             js.outstanding -= 1;
             // closed loop: the sender's next message goes out now
             if let Some(dst) = js.sends[rank].pop_front() {
-                let src = js.alloc.as_ref().expect("send for unallocated job").nodes()[rank];
+                // procsim-lint: allow(D004): invariant: a job with packets in flight was started, so alloc is Some
+                let src = js.alloc.as_ref().expect("invariant: send for unallocated job").nodes()[rank];
                 self.net
                     .send(src, dst, self.cfg.plen, encode_tag(job_id, rank), self.now);
             }

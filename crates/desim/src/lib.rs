@@ -16,7 +16,19 @@
 //! layer (job-level simulator, tests, examples) can define its own event
 //! enum without dynamic dispatch.
 
-#![warn(missing_docs)]
+// Deep invariant check: a `debug_assert!` in ordinary builds, promoted
+// to an always-compiled `assert!` under `--features invariants` (see
+// docs/LINTS.md). `cfg!` keeps both arms type-checked; the dead branch
+// is optimized out.
+macro_rules! inv_assert {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "invariants") {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
 
 pub mod queue;
 pub mod rng;

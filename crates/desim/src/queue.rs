@@ -112,7 +112,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         self.heap.pop().map(|Reverse(e)| {
-            debug_assert!(e.time >= self.now);
+            inv_assert!(e.time >= self.now, "event queue time ran backwards");
             self.now = e.time;
             (e.time, e.event)
         })

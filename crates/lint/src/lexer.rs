@@ -1,0 +1,493 @@
+//! A lightweight Rust tokenizer for [`crate::rules`].
+//!
+//! The build environment is offline, so the linter cannot lean on `syn`
+//! or `proc-macro2`; instead this module implements the small slice of
+//! lexical Rust the rules need: it splits source text into identifier /
+//! number / punctuation tokens while *correctly skipping* the places
+//! where rule keywords may legally appear without meaning anything —
+//! line and (nested) block comments, string literals (plain, raw, and
+//! byte variants), and character literals (disambiguated from
+//! lifetimes). Suppression pragmas are parsed out of line comments
+//! during the same pass.
+
+/// Token category. The rules only distinguish words from punctuation
+/// and need literals identified so they are never mistaken for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal, including any type suffix (`0.0`, `1u32`).
+    Number,
+    /// String literal of any flavour (contents discarded).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// Punctuation. `::`, `->` and `=>` are fused into single tokens
+    /// because the rules pattern-match on them.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Source text (empty for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `// procsim-lint: allow(Dxxx): reason` pragma found in a comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Rule ids named in `allow(...)` (upper-cased).
+    pub rules: Vec<String>,
+    /// The written justification after the second colon.
+    pub reason: String,
+    /// Set when the pragma marker was present but unparsable or the
+    /// reason was empty; carries a description of what is wrong.
+    pub malformed: Option<String>,
+}
+
+/// Tokenizer output: the token stream plus any pragmas seen.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Marker that introduces a suppression pragma inside a line comment.
+pub const PRAGMA_MARKER: &str = "procsim-lint:";
+
+/// Pseudo-rule name carried by a `procsim-lint: test-only: reason`
+/// file directive (the whole file is cfg(test)-gated at its include
+/// site, invisible from the file itself).
+pub const TEST_ONLY: &str = "TEST-ONLY";
+
+/// Tokenizes `src`, extracting pragmas from line comments.
+pub fn lex(src: &str) -> LexOutput {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // line comment: scan to end of line, check for a pragma.
+                // Doc comments (`///`, `//!`) are prose — a pragma marker
+                // there is documentation *about* pragmas, not a pragma.
+                let start = i + 2;
+                let is_doc = start < n && (b[start] == '/' || b[start] == '!');
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                if !is_doc {
+                    let text: String = b[start..j].iter().collect();
+                    if let Some(p) = parse_pragma(&text, line) {
+                        out.pragmas.push(p);
+                    }
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // block comment, nested per the Rust grammar
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // char literal or lifetime
+                let tok_line = line;
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // escaped char literal: skip to closing quote
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // escaped character
+                    }
+                    // unicode escapes: \u{...}
+                    while j < n && b[j] != '\'' && b[j] != '\n' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    // 'x'
+                    i += 3;
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                } else {
+                    // lifetime: 'ident
+                    let mut j = i + 1;
+                    let mut name = String::from("'");
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        name.push(b[j]);
+                        j += 1;
+                    }
+                    i = j;
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: name,
+                        line: tok_line,
+                    });
+                }
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                // raw/byte string prefixes first: r", r#", b", br", b'
+                if (c == 'r' || c == 'b') && is_string_start(&b, i) {
+                    let tok_line = line;
+                    i = skip_prefixed_string(&b, i, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                    // byte literal b'x'
+                    let tok_line = line;
+                    let mut j = i + 2;
+                    if j < n && b[j] == '\\' {
+                        j += 1;
+                    }
+                    while j < n && b[j] != '\'' && b[j] != '\n' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                let mut j = i;
+                let mut name = String::new();
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    name.push(b[j]);
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut text = String::new();
+                // consume digits, underscores, type suffixes, exponents and
+                // a fractional part (good enough: a number token never
+                // contains rule keywords)
+                while j < n
+                    && (b[j].is_alphanumeric()
+                        || b[j] == '_'
+                        || (b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit()))
+                {
+                    text.push(b[j]);
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                // punctuation; fuse the few two-char tokens the rules use
+                let two: String = b[i..n.min(i + 2)].iter().collect();
+                let fused = matches!(two.as_str(), "::" | "->" | "=>");
+                let text = if fused { two } else { c.to_string() };
+                let len = text.chars().count();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    out
+}
+
+/// Does the identifier starting at `i` (which begins with `r` or `b`)
+/// introduce a raw/byte string literal rather than a plain identifier?
+fn is_string_start(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let c = b[i];
+    if c == 'r' || c == 'b' {
+        // r" r#" b" b#"(invalid but harmless) br" rb"(invalid)
+        let mut j = i + 1;
+        if j < n && (b[j] == 'r' || b[j] == 'b') && b[j] != c {
+            j += 1;
+        }
+        let mut k = j;
+        while k < n && b[k] == '#' {
+            k += 1;
+        }
+        return k < n && b[k] == '"';
+    }
+    false
+}
+
+/// Skips a plain `"..."` string starting at `i` (the opening quote).
+/// Returns the index just past the closing quote.
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw/byte string starting at `i` (the `r`/`b` prefix).
+fn skip_prefixed_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i;
+    let mut raw = false;
+    while j < n && (b[j] == 'r' || b[j] == 'b') {
+        raw |= b[j] == 'r';
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != '"' {
+        return j; // not actually a string; treat prefix as consumed
+    }
+    j += 1;
+    if !raw {
+        // byte string: ordinary escape rules
+        while j < n {
+            match b[j] {
+                '\\' => j += 2,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                '"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        return n;
+    }
+    // raw string: ends at `"` followed by `hashes` hash marks
+    while j < n {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && b[k] == '#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Parses a pragma out of a line comment's text, if the marker is there.
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let at = comment.find(PRAGMA_MARKER)?;
+    let rest = comment[at + PRAGMA_MARKER.len()..].trim_start();
+    let malformed = |why: &str| {
+        Some(Pragma {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            malformed: Some(why.to_string()),
+        })
+    };
+    if let Some(rest) = rest.strip_prefix("test-only") {
+        // file-level directive: this file is only compiled under
+        // cfg(test) at its module include site (the linter cannot see
+        // that from the file alone), so treat it as test code
+        let reason = rest.trim_start().strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            return malformed("`test-only` needs `: reason` naming the cfg(test) include site");
+        }
+        return Some(Pragma {
+            line,
+            rules: vec![TEST_ONLY.to_string()],
+            reason: reason.to_string(),
+            malformed: None,
+        });
+    }
+    let Some(body) = rest.strip_prefix("allow") else {
+        return malformed("expected `allow(Dxxx): reason` after the marker");
+    };
+    let body = body.trim_start();
+    let Some(open) = body.strip_prefix('(') else {
+        return malformed("expected `(` after `allow`");
+    };
+    let Some(close) = open.find(')') else {
+        return malformed("unclosed rule list");
+    };
+    let rules: Vec<String> = open[..close]
+        .split(',')
+        .map(|r| r.trim().to_ascii_uppercase())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return malformed("empty rule list");
+    }
+    if let Some(bad) = rules.iter().find(|r| !crate::rules::is_known_rule(r)) {
+        return Some(Pragma {
+            line,
+            rules: Vec::new(),
+            reason: String::new(),
+            malformed: Some(format!("unknown rule `{bad}`")),
+        });
+    }
+    let after = open[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return malformed("expected `: reason` after the rule list");
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return malformed("suppression reason is empty — every pragma must say why");
+    }
+    Some(Pragma {
+        line,
+        rules,
+        reason: reason.to_string(),
+        malformed: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_keywords() {
+        let src = r##"
+            // HashMap in a comment
+            /* unwrap() in /* nested */ block */
+            let s = "for x in map.iter()";
+            let r = r#"unwrap()"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"iter".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").toks;
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Char));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nline\nline\";\nlet b = 1;";
+        let toks = lex(src).toks;
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn pragma_parses_rules_and_reason() {
+        let out = lex("let x = 1; // procsim-lint: allow(D001, d004): maps never iterated\n");
+        assert_eq!(out.pragmas.len(), 1);
+        let p = &out.pragmas[0];
+        assert!(p.malformed.is_none());
+        assert_eq!(p.rules, vec!["D001", "D004"]);
+        assert_eq!(p.reason, "maps never iterated");
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed() {
+        let out = lex("// procsim-lint: allow(D001):\n// procsim-lint: allow(D001)\n");
+        assert_eq!(out.pragmas.len(), 2);
+        assert!(out.pragmas.iter().all(|p| p.malformed.is_some()));
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_malformed() {
+        let out = lex("// procsim-lint: allow(D999): no such rule\n");
+        assert_eq!(out.pragmas.len(), 1);
+        assert!(out.pragmas[0].malformed.as_deref().unwrap_or("").contains("D999"));
+    }
+}

@@ -1,0 +1,410 @@
+//! # procsim-lint — workspace determinism & robustness static analysis
+//!
+//! The whole reproduction rests on a determinism contract: bit-identical
+//! replay of every figure, golden CSV, and equivalence oracle at any
+//! thread count. This crate enforces the project-specific rules that the
+//! compiler cannot — unordered `HashMap`/`HashSet` iteration (D001),
+//! wall-clock/entropy leakage (D002), order-sensitive float reductions
+//! (D003), library panics (D004), and truncating index casts (D005) —
+//! with a registry-free lexical analysis (no `syn`; the build
+//! environment is offline).
+//!
+//! Findings are suppressible only via an inline pragma that carries a
+//! written reason:
+//!
+//! ```text
+//! let x = map.get(&k); // procsim-lint: allow(D001): lookup, not iteration
+//! ```
+//!
+//! The pragma applies to findings on its own line or up to three lines
+//! below (full-line comments above a statement that rustfmt may wrap).
+//! Malformed pragmas (P001) and pragmas that suppress nothing (P002)
+//! are themselves findings, so the suppression inventory cannot rot.
+//! See `docs/LINTS.md` for the catalogue and protocol.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::TEST_ONLY;
+use rules::{FileCtx, RuleInfo, CODE_RULES, RULES};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Severity assigned to a rule for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Reported; fails the run (non-zero exit).
+    Deny,
+    /// Reported; does not fail the run.
+    Warn,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Deny => "deny",
+            Level::Warn => "warn",
+        })
+    }
+}
+
+/// One reported finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D001`..., `P001`/`P002`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+    /// Severity under the run's configuration.
+    pub level: Level,
+}
+
+/// One honoured suppression (recorded and reported, never silent).
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id suppressed.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// The pragma's written justification.
+    pub reason: String,
+}
+
+/// Outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that were not suppressed, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Suppressions that matched a finding.
+    pub suppressions: Vec<Suppression>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// Findings at deny level.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.level == Level::Deny)
+    }
+
+    /// Does the report fail the run?
+    pub fn is_failure(&self) -> bool {
+        self.denied().next().is_some()
+    }
+}
+
+/// Run configuration: per-rule levels plus the workspace root.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Per-rule severity; rules absent from the map use `default_level`.
+    pub levels: BTreeMap<String, Level>,
+    /// Level for rules not explicitly configured.
+    pub default_level: Level,
+}
+
+impl Config {
+    /// Strict default: everything denied, rooted at `root`.
+    pub fn deny_all(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            levels: BTreeMap::new(),
+            default_level: Level::Deny,
+        }
+    }
+
+    /// The effective level for `rule`.
+    pub fn level(&self, rule: &str) -> Level {
+        self.levels.get(rule).copied().unwrap_or(self.default_level)
+    }
+}
+
+/// Directories never scanned: build output, VCS, vendored registry
+/// stand-ins (third-party API surface, not project code), generated
+/// results, prose, and the linter's own intentionally-dirty fixtures.
+const SKIP_DIRS: [&str; 6] = ["target", ".git", "shims", "results", "docs", "fixtures"];
+
+/// Error walking or reading the tree.
+#[derive(Debug)]
+pub struct LintError {
+    /// What failed.
+    pub msg: String,
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints every workspace `.rs` file under `cfg.root`.
+pub fn lint_workspace(cfg: &Config) -> Result<Report, LintError> {
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| LintError { msg: format!("read {}: {e}", path.display()) })?;
+        lint_source_into(cfg, &rel, &src, &mut report);
+    }
+    Ok(report)
+}
+
+/// Lints a single source text as if it lived at workspace-relative
+/// `rel` (drives rule applicability). Used by the fixture tests.
+pub fn lint_source(cfg: &Config, rel: &str, src: &str) -> Report {
+    let mut report = Report::default();
+    lint_source_into(cfg, rel, src, &mut report);
+    report
+}
+
+fn lint_source_into(cfg: &Config, rel: &str, src: &str, report: &mut Report) {
+    report.files += 1;
+    let lexed = lexer::lex(src);
+    let mut ctx = FileCtx::classify(rel);
+
+    // honour the file-level `test-only` directive
+    let test_only = lexed
+        .pragmas
+        .iter()
+        .any(|p| p.malformed.is_none() && p.rules.iter().any(|r| r == TEST_ONLY));
+    if test_only {
+        ctx.in_tests = true;
+    }
+
+    // malformed pragmas are always findings
+    for p in &lexed.pragmas {
+        if let Some(why) = &p.malformed {
+            report.findings.push(Finding {
+                rule: "P001".into(),
+                path: rel.into(),
+                line: p.line,
+                msg: format!("malformed pragma: {why}"),
+                level: cfg.level("P001"),
+            });
+        }
+    }
+
+    let raw = rules::scan(&ctx, &lexed.toks);
+
+    // pragma matching: a pragma on line L covers findings on L (trailing
+    // comment) or L+1..=L+3 (comment line above a statement that rustfmt
+    // may wrap across lines)
+    let mut used = vec![false; lexed.pragmas.len()];
+    for f in raw {
+        // the *closest* covering pragma claims the finding, so stacked
+        // pragmas on adjacent lines each bind to their own statement
+        let best = lexed
+            .pragmas
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.malformed.is_none()
+                    && p.line <= f.line
+                    && f.line <= p.line + 3
+                    && p.rules.iter().any(|r| r == f.rule)
+            })
+            .max_by_key(|(_, p)| p.line);
+        if let Some((pi, p)) = best {
+            used[pi] = true;
+            report.suppressions.push(Suppression {
+                rule: f.rule.into(),
+                path: rel.into(),
+                line: f.line,
+                reason: p.reason.clone(),
+            });
+        } else {
+            report.findings.push(Finding {
+                rule: f.rule.into(),
+                path: rel.into(),
+                line: f.line,
+                msg: f.msg,
+                level: cfg.level(f.rule),
+            });
+        }
+    }
+
+    // well-formed pragmas that suppressed nothing are stale (P002);
+    // the test-only directive is exempt (it acts file-wide)
+    for (pi, p) in lexed.pragmas.iter().enumerate() {
+        if p.malformed.is_none() && !used[pi] && !p.rules.iter().any(|r| r == TEST_ONLY) {
+            report.findings.push(Finding {
+                rule: "P002".into(),
+                path: rel.into(),
+                line: p.line,
+                msg: format!(
+                    "pragma allow({}) suppressed nothing; delete it or move it to the \
+                     offending line",
+                    p.rules.join(", ")
+                ),
+                level: cfg.level("P002"),
+            });
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| LintError { msg: format!("read_dir {}: {e}", dir.display()) })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError { msg: format!("walk {}: {e}", dir.display()) })?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders the catalogue entry for `rule`, or a list of known rules.
+pub fn explain(rule: &str) -> Option<String> {
+    rules::rule_info(rule).map(|r: &RuleInfo| {
+        format!("{} — {}\n\n{}\n", r.id, r.summary, r.explain)
+    })
+}
+
+/// One line per rule: id and summary.
+pub fn rule_list() -> String {
+    let mut s = String::new();
+    for r in RULES {
+        s.push_str(&format!("{}  {}\n", r.id, r.summary));
+    }
+    s
+}
+
+/// Serializes a report as JSON (hand-rolled: the offline environment
+/// has no serde_json).
+pub fn to_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"level\": \"{}\", \
+             \"message\": \"{}\"}}{}\n",
+            esc(&f.rule),
+            esc(&f.path),
+            f.line,
+            f.level,
+            esc(&f.msg),
+            if i + 1 < report.findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"suppressions\": [\n");
+    for (i, sp) in report.suppressions.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+            esc(&sp.rule),
+            esc(&sp.path),
+            sp.line,
+            esc(&sp.reason),
+            if i + 1 < report.suppressions.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"files\": {},\n  \"denied\": {}\n}}\n",
+        report.files,
+        report.denied().count()
+    ));
+    s
+}
+
+/// Verifies that `CODE_RULES` and the catalogue agree (used by tests).
+pub fn catalogue_is_consistent() -> bool {
+    CODE_RULES.iter().all(|r| rules::is_known_rule(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::deny_all("/nonexistent")
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_line() {
+        let src = "fn f(m: &M) { let x = q.unwrap(); } // procsim-lint: allow(D004): invariant: q is seeded in new()\n\
+                   // procsim-lint: allow(D004): invariant: r always present\n\
+                   fn g() { let y = r.unwrap(); }\n";
+        let rep = lint_source(&cfg(), "crates/core/src/x.rs", src);
+        assert_eq!(rep.findings.len(), 0, "{:?}", rep.findings);
+        assert_eq!(rep.suppressions.len(), 2);
+    }
+
+    #[test]
+    fn unused_pragma_is_p002() {
+        let src = "// procsim-lint: allow(D001): nothing here\nfn f() {}\n";
+        let rep = lint_source(&cfg(), "crates/core/src/x.rs", src);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, "P002");
+    }
+
+    #[test]
+    fn malformed_pragma_is_p001_and_does_not_suppress() {
+        let src = "fn f() { let x = q.unwrap(); } // procsim-lint: allow(D004)\n";
+        let rep = lint_source(&cfg(), "crates/core/src/x.rs", src);
+        let rules: Vec<&str> = rep.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"P001"), "{rules:?}");
+        assert!(rules.contains(&"D004"), "{rules:?}");
+    }
+
+    #[test]
+    fn test_only_directive_downgrades_file() {
+        let src = "// procsim-lint: test-only: included via `#[cfg(test)] pub mod x` in lib.rs\n\
+                   fn f() { let x = q.unwrap(); }\n";
+        let rep = lint_source(&cfg(), "crates/wormnet/src/reference.rs", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn warn_level_does_not_fail() {
+        let mut c = cfg();
+        c.levels.insert("D004".into(), Level::Warn);
+        let rep = lint_source(&c, "crates/core/src/x.rs", "fn f() { q.unwrap(); }");
+        assert_eq!(rep.findings.len(), 1);
+        assert!(!rep.is_failure());
+    }
+
+    #[test]
+    fn catalogue_consistent() {
+        assert!(catalogue_is_consistent());
+        assert!(explain("D001").is_some());
+        assert!(explain("D999").is_none());
+    }
+}

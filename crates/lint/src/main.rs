@@ -1,0 +1,121 @@
+//! `procsim-lint` CLI — the workspace determinism & robustness linter.
+//!
+//! ```text
+//! procsim-lint [--root DIR] [--json] [--deny RULE|all]... [--warn RULE|all]...
+//!              [--explain RULE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or warnings only), 1 denied findings, 2 usage
+//! or I/O error. CI runs `procsim-lint --deny all`, so the workspace
+//! must be lint-clean or carry reasoned `procsim-lint: allow` pragmas.
+
+use procsim_lint::{explain, lint_workspace, rule_list, rules, to_json, Config, Level};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "usage: procsim-lint [--root DIR] [--json] [--deny RULE|all]... [--warn RULE|all]...\n\
+     \x20                   [--explain RULE] [--list-rules]\n\
+     \n\
+     Lints every workspace .rs file (skipping target/, shims/, docs/, results/\n\
+     and test fixtures) against the determinism & robustness rules D001-D005.\n\
+     Suppressions require `// procsim-lint: allow(Dxxx): reason` pragmas and\n\
+     are recorded in the output. Exit 0 = clean, 1 = denied findings, 2 = usage.\n"
+        .to_string()
+}
+
+fn apply_levels(cfg: &mut Config, spec: &str, level: Level) -> Result<(), String> {
+    if spec.eq_ignore_ascii_case("all") {
+        cfg.default_level = level;
+        cfg.levels.clear();
+        return Ok(());
+    }
+    let id = spec.to_ascii_uppercase();
+    if !rules::is_known_rule(&id) {
+        return Err(format!("unknown rule `{spec}` (try --list-rules)"));
+    }
+    cfg.levels.insert(id, level);
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::deny_all(".");
+    let mut json = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--list-rules" => {
+                print!("{}", rule_list());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--explain" => {
+                let id = value("--explain")?.to_ascii_uppercase();
+                let text = explain(&id).ok_or_else(|| format!("unknown rule `{id}`"))?;
+                print!("{text}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--root" => {
+                cfg.root = value("--root")?.into();
+            }
+            "--deny" => {
+                let spec = value("--deny")?;
+                apply_levels(&mut cfg, &spec, Level::Deny)?;
+            }
+            "--warn" => {
+                let spec = value("--warn")?;
+                apply_levels(&mut cfg, &spec, Level::Warn)?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let report = lint_workspace(&cfg).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: {} [{}] {}", f.path, f.line, f.rule, f.level, f.msg);
+        }
+        if !report.suppressions.is_empty() {
+            println!("-- {} suppression(s) honoured:", report.suppressions.len());
+            for s in &report.suppressions {
+                println!("   {}:{}: allow({}) — {}", s.path, s.line, s.rule, s.reason);
+            }
+        }
+        let denied = report.denied().count();
+        println!(
+            "procsim-lint: {} file(s), {} finding(s) ({} denied), {} suppression(s)",
+            report.files,
+            report.findings.len(),
+            denied,
+            report.suppressions.len()
+        );
+    }
+    Ok(if report.is_failure() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("procsim-lint: {msg}");
+            eprint!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// D001 fixture (clean): keyed access only — order never observed.
+use std::collections::HashMap;
+
+pub fn lookup(map: &mut HashMap<u64, f64>, k: u64) -> f64 {
+    map.insert(k + 1, 0.0);
+    map.remove(&(k + 2));
+    *map.entry(k).or_insert(1.0)
+}
+
+pub fn sorted(tree: &std::collections::BTreeMap<u64, f64>) -> Vec<f64> {
+    tree.values().copied().collect()
+}

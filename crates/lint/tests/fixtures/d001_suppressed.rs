@@ -1,0 +1,7 @@
+// D001 fixture (suppressed): iteration order provably cannot escape.
+use std::collections::HashMap;
+
+pub fn count(map: &HashMap<u64, f64>) -> usize {
+    // procsim-lint: allow(D001): the closure is order-insensitive (pure count)
+    map.iter().count()
+}

@@ -1,0 +1,14 @@
+// D001 fixture: iterating a HashMap leaks RandomState order.
+use std::collections::HashMap;
+
+pub fn total(map: &HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in map.iter() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn names(set: &std::collections::HashSet<String>) -> Vec<String> {
+    set.iter().cloned().collect()
+}

@@ -1,0 +1,12 @@
+// D002 fixture (clean): a seeded counter-based generator, no OS entropy.
+pub struct SimRng(u64);
+
+impl SimRng {
+    pub fn new(seed: u64) -> Self {
+        SimRng(seed)
+    }
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}

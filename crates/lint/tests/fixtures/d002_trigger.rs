@@ -1,0 +1,9 @@
+// D002 fixture: wall-clock and OS entropy in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    let i = Instant::now();
+    let _ = (t, i);
+    0
+}

@@ -1,0 +1,4 @@
+// D003 fixture (clean): integer reductions are exact in any order.
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

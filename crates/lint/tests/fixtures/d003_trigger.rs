@@ -1,0 +1,4 @@
+// D003 fixture: order-sensitive float reduction.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

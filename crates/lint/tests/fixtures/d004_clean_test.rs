@@ -1,0 +1,13 @@
+// D004 fixture (clean): unwrap inside test code is fine.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_ok() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+// D004 fixture: unwrap/expect in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn last(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty")
+}

@@ -1,0 +1,12 @@
+// D005 fixture (clean): widening casts and non-size idents.
+pub fn widen(xs: &[u8]) -> u64 {
+    xs.len() as u64
+}
+
+pub fn promote(width: u16) -> u32 {
+    width as u32
+}
+
+pub fn flags(mask: u64) -> u8 {
+    (mask & 0xff) as u8
+}

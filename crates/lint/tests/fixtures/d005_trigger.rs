@@ -1,0 +1,8 @@
+// D005 fixture: truncating casts in size arithmetic.
+pub fn narrow(xs: &[u8]) -> u32 {
+    xs.len() as u32
+}
+
+pub fn coord(width: usize) -> u16 {
+    width as u16
+}

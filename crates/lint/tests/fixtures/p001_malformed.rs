@@ -1,0 +1,6 @@
+// P001 fixture: pragma without a written reason is malformed and
+// suppresses nothing.
+pub fn first(xs: &[u32]) -> u32 {
+    // procsim-lint: allow(D004)
+    *xs.first().unwrap()
+}

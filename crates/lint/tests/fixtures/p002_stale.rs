@@ -1,0 +1,5 @@
+// P002 fixture: a pragma that suppresses nothing is itself a finding.
+pub fn double(x: u32) -> u32 {
+    // procsim-lint: allow(D004): nothing here ever panicked
+    x * 2
+}

@@ -20,7 +20,19 @@
 //! processors, matching the SDSC Intel Paragon partition), but everything
 //! here is generic over mesh dimensions.
 
-#![warn(missing_docs)]
+// Deep invariant check: a `debug_assert!` in ordinary builds, promoted
+// to an always-compiled `assert!` under `--features invariants` (see
+// docs/LINTS.md). `cfg!` keeps both arms type-checked; the dead branch
+// is optimized out.
+macro_rules! inv_assert {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "invariants") {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
 
 pub mod buddy;
 pub mod coord;
@@ -35,6 +47,5 @@ pub use mesh::Mesh;
 pub use pages::{PageGrid, PageIndexing};
 pub use rect::{
     find_free_submesh, intersect_intervals, largest_free_rect, largest_free_rect_near,
-    OccupancySums,
 };
 pub use submesh::SubMesh;

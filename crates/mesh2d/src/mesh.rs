@@ -157,7 +157,7 @@ impl Mesh {
     /// an interval (the caller just verified the processor was free).
     fn interval_remove(row: &mut Vec<(u16, u16)>, x: u16) {
         let i = row.partition_point(|&(_, end)| end < x);
-        debug_assert!(
+        inv_assert!(
             i < row.len() && row[i].0 <= x && x <= row[i].1,
             "free-interval index out of sync"
         );
@@ -213,6 +213,8 @@ impl Mesh {
         for c in s.iter() {
             self.occupy(c);
         }
+        #[cfg(feature = "invariants")]
+        self.check_index_consistency();
     }
 
     /// Frees every processor of `s`.
@@ -224,6 +226,48 @@ impl Mesh {
         for c in s.iter() {
             self.release(c);
         }
+        #[cfg(feature = "invariants")]
+        self.check_index_consistency();
+    }
+
+    /// Cross-validates the incremental free-interval index against the
+    /// raw occupancy bits: every row's intervals must be sorted, disjoint,
+    /// maximal, and cover exactly its free processors, and `free` must
+    /// equal the popcount of free bits. O(W × L); compiled only under
+    /// `--features invariants` and run after every sub-mesh operation
+    /// (single-processor churn, e.g. the MC allocator's scatter path,
+    /// is validated by the cheap per-op checks instead).
+    #[cfg(feature = "invariants")]
+    pub fn check_index_consistency(&self) {
+        let mut free_bits = 0u32;
+        for y in 0..self.l {
+            let row = &self.row_free[y as usize];
+            let mut prev_end: Option<u16> = None;
+            for &(a, b) in row {
+                assert!(a <= b && b < self.w, "malformed interval ({a},{b}) in row {y}");
+                if let Some(pe) = prev_end {
+                    // disjoint AND maximal: a gap of at least one occupied cell
+                    assert!(a > pe + 1, "unmerged/overlapping intervals in row {y}");
+                }
+                prev_end = Some(b);
+            }
+            let mut in_interval = vec![false; self.w as usize];
+            for &(a, b) in row {
+                for x in a..=b {
+                    in_interval[x as usize] = true;
+                }
+            }
+            for x in 0..self.w {
+                let occ = self.occupied[y as usize * self.w as usize + x as usize];
+                assert_eq!(
+                    !occ,
+                    in_interval[x as usize],
+                    "interval index disagrees with occupancy bit at ({x},{y})"
+                );
+                free_bits += u32::from(!occ);
+            }
+        }
+        assert_eq!(self.free, free_bits, "free counter out of sync");
     }
 
     /// Iterates over the coordinates of all free processors in row-major
@@ -251,7 +295,8 @@ impl Mesh {
     }
 
     /// Raw row-major occupancy slice (row `y` at `[y*W .. (y+1)*W)`),
-    /// for O(1) scanning by the rectangle-search routines.
+    /// for callers that need a whole-grid snapshot (diagnostics, oracle
+    /// comparisons in tests).
     #[inline]
     pub fn occupancy(&self) -> &[bool] {
         &self.occupied

@@ -92,6 +92,7 @@ impl PageGrid {
     pub fn new(mesh_w: u16, mesh_l: u16, size_index: u8, indexing: PageIndexing) -> Self {
         let side = 1u16
             .checked_shl(size_index as u32)
+            // procsim-lint: allow(D004): documented panic on invalid configuration (see `# Panics` above); not a recoverable state
             .expect("page side overflows u16");
         assert!(
             side <= mesh_w && side <= mesh_l,

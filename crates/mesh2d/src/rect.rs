@@ -14,49 +14,6 @@ use crate::coord::Coord;
 use crate::mesh::Mesh;
 use crate::submesh::SubMesh;
 
-/// 2D prefix sums of the occupancy grid, giving O(1) "how many allocated
-/// processors in this rectangle" queries after an O(W·L) build.
-#[derive(Debug, Clone)]
-pub struct OccupancySums {
-    w: usize,
-    sums: Vec<u32>, // (w+1) x (l+1), row-major
-}
-
-impl OccupancySums {
-    /// Builds prefix sums from the current mesh occupancy.
-    pub fn new(mesh: &Mesh) -> Self {
-        let (w, l) = (mesh.width() as usize, mesh.length() as usize);
-        let occ = mesh.occupancy();
-        let stride = w + 1;
-        let mut sums = vec![0u32; stride * (l + 1)];
-        for y in 0..l {
-            let mut row_acc = 0u32;
-            for x in 0..w {
-                row_acc += occ[y * w + x] as u32;
-                sums[(y + 1) * stride + (x + 1)] = sums[y * stride + (x + 1)] + row_acc;
-            }
-        }
-        OccupancySums { w, sums }
-    }
-
-    /// Number of allocated processors inside `s`.
-    #[inline]
-    pub fn occupied_in(&self, s: &SubMesh) -> u32 {
-        let stride = self.w + 1;
-        let (x0, y0) = (s.base.x as usize, s.base.y as usize);
-        let (x1, y1) = (s.end.x as usize + 1, s.end.y as usize + 1);
-        self.sums[y1 * stride + x1] + self.sums[y0 * stride + x0]
-            - self.sums[y0 * stride + x1]
-            - self.sums[y1 * stride + x0]
-    }
-
-    /// Whether every processor of `s` is free.
-    #[inline]
-    pub fn is_free(&self, s: &SubMesh) -> bool {
-        self.occupied_in(s) == 0
-    }
-}
-
 /// Intersects two sorted disjoint interval lists into `out` (cleared
 /// first): the columns covered by both. Standard two-pointer sweep,
 /// O(|a| + |b|). The building block for stacking the per-row free
@@ -106,29 +63,6 @@ pub fn find_free_submesh(mesh: &Mesh, w: u16, l: u16) -> Option<SubMesh> {
         }
         if let Some(&(a, _)) = acc.iter().find(|&&(a, b)| b - a + 1 >= w) {
             return Some(SubMesh::from_base_size(Coord::new(a, y), w, l));
-        }
-    }
-    None
-}
-
-/// As [`find_free_submesh`], but reusing an already-built [`OccupancySums`]
-/// (useful when probing several request shapes against one mesh state).
-pub fn find_free_submesh_with(
-    sums: &OccupancySums,
-    mesh_w: u16,
-    mesh_l: u16,
-    w: u16,
-    l: u16,
-) -> Option<SubMesh> {
-    if w == 0 || l == 0 || w > mesh_w || l > mesh_l {
-        return None;
-    }
-    for y in 0..=(mesh_l - l) {
-        for x in 0..=(mesh_w - w) {
-            let s = SubMesh::from_base_size(Coord::new(x, y), w, l);
-            if sums.is_free(&s) {
-                return Some(s);
-            }
         }
     }
     None
@@ -211,6 +145,7 @@ pub fn largest_free_rect_near(
                     let improves_area = best.as_ref().is_none_or(|(a, _, _)| area > *a);
                     let ties_area = best.as_ref().is_some_and(|(a, _, _)| area == *a);
                     if improves_area || (ties_area && anchor.is_some()) {
+                        // procsim-lint: allow(D005): x0/x1/y/h index the histogram of a mesh whose dimensions are u16
                         let s = SubMesh::from_base_size(
                             Coord::new(x0 as u16, (y + 1 - h) as u16),
                             (x1 - x0 + 1) as u16,
@@ -231,31 +166,6 @@ pub fn largest_free_rect_near(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn mesh_with(w: u16, l: u16, occupied: &[(u16, u16)]) -> Mesh {
-        let mut m = Mesh::new(w, l);
-        for &(x, y) in occupied {
-            m.occupy(Coord::new(x, y));
-        }
-        m
-    }
-
-    #[test]
-    fn prefix_sums_match_naive() {
-        let m = mesh_with(6, 5, &[(0, 0), (1, 1), (2, 2), (5, 4), (3, 1)]);
-        let sums = OccupancySums::new(&m);
-        for y0 in 0..5u16 {
-            for x0 in 0..6u16 {
-                for y1 in y0..5 {
-                    for x1 in x0..6 {
-                        let s = SubMesh::new(Coord::new(x0, y0), Coord::new(x1, y1));
-                        let naive = s.iter().filter(|&c| m.is_occupied(c)).count() as u32;
-                        assert_eq!(sums.occupied_in(&s), naive, "rect {s}");
-                    }
-                }
-            }
-        }
-    }
 
     #[test]
     fn find_in_empty_mesh_is_origin() {

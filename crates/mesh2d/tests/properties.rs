@@ -1,7 +1,7 @@
 //! Property-based tests for the geometric substrate.
 
 use mesh2d::{
-    decompose_pow2_squares, find_free_submesh, largest_free_rect, Coord, Mesh, OccupancySums,
+    decompose_pow2_squares, find_free_submesh, largest_free_rect, Coord, Mesh,
     PageGrid, PageIndexing, SubMesh,
 };
 use proptest::prelude::*;
@@ -44,18 +44,6 @@ proptest! {
         m.release_submesh(&s);
         prop_assert_eq!(m.free_count(), before);
         prop_assert!(m.submesh_free(&s));
-    }
-
-    #[test]
-    fn prefix_sums_agree_with_scan(m in arb_occupied_mesh(), x0 in 0u16..24, y0 in 0u16..24, w in 1u16..8, l in 1u16..8) {
-        let w = w.min(m.width());
-        let l = l.min(m.length());
-        let x0 = x0 % (m.width() - w + 1);
-        let y0 = y0 % (m.length() - l + 1);
-        let s = SubMesh::from_base_size(Coord::new(x0, y0), w, l);
-        let sums = OccupancySums::new(&m);
-        let naive = s.iter().filter(|&c| m.is_occupied(c)).count() as u32;
-        prop_assert_eq!(sums.occupied_in(&s), naive);
     }
 
     #[test]

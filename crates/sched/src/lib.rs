@@ -18,8 +18,6 @@
 //! allocate the listed jobs in order until the policy's blocking rule
 //! stops the pass, and removes jobs that start.
 
-#![warn(missing_docs)]
-
 use desim::Time;
 use std::collections::VecDeque;
 

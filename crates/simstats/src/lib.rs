@@ -11,8 +11,6 @@
 //! * [`TimeWeighted`] — time integrals for utilization,
 //! * [`Histogram`] — fixed-width distribution summaries.
 
-#![warn(missing_docs)]
-
 pub mod histogram;
 pub mod replication;
 pub mod timeweighted;

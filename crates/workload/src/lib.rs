@@ -21,8 +21,6 @@
 //! (wrapped, for genuine SWF files, by [`TraceWorkload`] which targets an
 //! *offered load* — see `docs/WORKLOADS.md`).
 
-#![warn(missing_docs)]
-
 pub mod cm5;
 pub mod paragon;
 pub mod stats;
@@ -88,7 +86,8 @@ pub fn shape_for_size(p: u32, w: u16, l: u16) -> (u16, u16) {
             best = Some((key, (a, b as u16)));
         }
     }
-    best.expect("p <= w*l always has a shape").1
+    // procsim-lint: allow(D004): invariant: callers clamp p <= w*l, and shape (w, ceil(p/w)) is always a candidate
+    best.expect("invariant: p <= w*l always has a shape").1
 }
 
 #[cfg(test)]

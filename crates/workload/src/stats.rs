@@ -37,10 +37,12 @@ pub fn summarize(records: &[TraceRecord]) -> Option<TraceSummary> {
         .windows(2)
         .map(|w| (w[1].submit_s - w[0].submit_s).max(0.0))
         .collect();
+    // procsim-lint: allow(D003): slice iteration in index order; the same record list always sums in the same order
     let gap_mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let gap_var = gaps
         .iter()
         .map(|g| (g - gap_mean) * (g - gap_mean))
+        // procsim-lint: allow(D003): slice iteration in index order; the same record list always sums in the same order
         .sum::<f64>()
         / gaps.len() as f64;
     let cv = if gap_mean > 0.0 {
@@ -48,8 +50,10 @@ pub fn summarize(records: &[TraceRecord]) -> Option<TraceSummary> {
     } else {
         0.0
     };
+    // procsim-lint: allow(D003): slice iteration in index order; the same record list always sums in the same order
     let mean_size = records.iter().map(|r| r.size as f64).sum::<f64>() / n;
     let pow2 = records.iter().filter(|r| r.size.is_power_of_two()).count() as f64 / n;
+    // procsim-lint: allow(D003): slice iteration in index order; the same record list always sums in the same order
     let mean_rt = records.iter().map(|r| r.runtime_s).sum::<f64>() / n;
     let mut rts: Vec<f64> = records.iter().map(|r| r.runtime_s).collect();
     rts.sort_by(f64::total_cmp);

@@ -120,11 +120,12 @@ pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, SwfError> {
         if size <= 0.0 {
             size = parse(7)?; // requested processors
         }
-        if size <= 0.0 || runtime < 0.0 {
-            continue; // unknown/failed job
+        if size <= 0.0 || size > u32::MAX as f64 || runtime < 0.0 {
+            continue; // unknown/failed job, or a size no real machine has
         }
         out.push(TraceRecord {
             submit_s: submit,
+            // procsim-lint: allow(D005): the guard above bounds size to (0, u32::MAX]
             size: size as u32,
             runtime_s: runtime.max(1.0),
         });

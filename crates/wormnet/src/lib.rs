@@ -34,7 +34,28 @@
 //! dateline switch — see `docs/TOPOLOGIES.md`), and [`route`] picks the
 //! matching deadlock-free dimension-ordered route.
 
-#![warn(missing_docs)]
+// Deep invariant checks: `debug_assert!` in ordinary builds, promoted
+// to always-compiled `assert!` under `--features invariants` (see
+// docs/LINTS.md). `cfg!` keeps both arms type-checked; the dead branch
+// is optimized out.
+macro_rules! inv_assert {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "invariants") {
+            assert!($($arg)*);
+        } else {
+            debug_assert!($($arg)*);
+        }
+    };
+}
+macro_rules! inv_assert_eq {
+    ($($arg:tt)*) => {
+        if cfg!(feature = "invariants") {
+            assert_eq!($($arg)*);
+        } else {
+            debug_assert_eq!($($arg)*);
+        }
+    };
+}
 
 pub mod network;
 pub mod packet;

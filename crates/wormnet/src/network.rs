@@ -173,6 +173,21 @@ pub struct Network {
 /// Sentinel for an empty intrusive waiter list.
 const NO_WAITER: u32 = u32::MAX;
 
+/// The live packet in `slot` of the arena. A free function (not a
+/// method) so callers keep split borrows on `Network`'s other fields.
+#[inline]
+fn live(packets: &[Option<PacketState>], slot: usize) -> &PacketState {
+    // procsim-lint: allow(D004): invariant: a slot is only vacated at completion, after it has left every active/waiter/injection list that could name it
+    packets[slot].as_ref().expect("invariant: empty packet slot")
+}
+
+/// Mutable twin of [`live`].
+#[inline]
+fn live_mut(packets: &mut [Option<PacketState>], slot: usize) -> &mut PacketState {
+    // procsim-lint: allow(D004): invariant: a slot is only vacated at completion, after it has left every active/waiter/injection list that could name it
+    packets[slot].as_mut().expect("invariant: empty packet slot")
+}
+
 impl Network {
     /// Creates an idle network over a `w × l` mesh (single virtual
     /// channel — the paper's configuration) with per-node routing delay
@@ -274,6 +289,7 @@ impl Network {
                 self.sched.push(Sched::Queued);
                 self.drain_pos.push(0);
                 self.waiter_next.push(NO_WAITER);
+                // procsim-lint: allow(D005): slot count is bounded by concurrent packets in a <= 2^20-node mesh, far under u32::MAX
                 (self.packets.len() - 1) as u32
             }
         };
@@ -315,7 +331,7 @@ impl Network {
         let n = self.active.len();
         if n > 0 {
             self.rr = (self.rr + 1) % n;
-            debug_assert!(self.cycle_heap.is_empty());
+            inv_assert!(self.cycle_heap.is_empty());
             for i in 0..self.drainers.len() {
                 let slot = self.drainers[i];
                 self.cycle_heap.push(Reverse((self.order_key(slot), slot)));
@@ -324,7 +340,7 @@ impl Network {
                 if due > s {
                     break;
                 }
-                debug_assert_eq!(due, s, "missed a routing-delay timer");
+                inv_assert_eq!(due, s, "missed a routing-delay timer");
                 self.attempts.pop();
                 self.cycle_heap.push(Reverse((self.order_key(slot), slot)));
             }
@@ -370,12 +386,13 @@ impl Network {
         while k < self.pending_nodes.len() {
             let node = self.pending_nodes[k] as usize;
             let q = &mut self.inject_q[node];
-            debug_assert!(!q.is_empty());
-            let front = *q.front().unwrap() as usize;
-            let inj = self.packets[front].as_ref().unwrap().path[0];
+            inv_assert!(!q.is_empty());
+            // procsim-lint: allow(D004): invariant: pending_nodes only lists nodes whose inject_q is non-empty (asserted above)
+            let front = *q.front().expect("invariant: pending node with empty inject queue") as usize;
+            let inj = live(&self.packets, front).path[0];
             if self.owner[inj.index()] == FREE {
                 q.pop_front();
-                let pkt = self.packets[front].as_mut().unwrap();
+                let pkt = live_mut(&mut self.packets, front);
                 self.owner[inj.index()] = front as u32;
                 pkt.head = 0;
                 pkt.tail = 0;
@@ -384,6 +401,7 @@ impl Network {
                 let due = s + self.ts as u64 + 1;
                 self.sched[front] = Sched::AttemptAt(due);
                 self.attempts.push(Reverse((due, front as u32)));
+                // procsim-lint: allow(D005): active list length is bounded by the packet arena, far under u32::MAX
                 self.pos[front] = self.active.len() as u32;
                 self.active.push(front as u32);
                 if q.is_empty() {
@@ -393,6 +411,68 @@ impl Network {
             }
             k += 1;
         }
+
+        #[cfg(feature = "invariants")]
+        self.check_consistency();
+    }
+
+    /// Cross-validates the arbitration bookkeeping against the packet
+    /// slab: the `active`/`pos` and `drainers`/`drain_pos` permutations
+    /// must be mutual inverses over live slots, every channel-owner
+    /// entry must name a live packet, and the intrusive waiter lists
+    /// must thread exactly the `Waiting` packets through the channels
+    /// they wait on. O(channels + packets) per cycle; compiled only
+    /// under `--features invariants`.
+    #[cfg(feature = "invariants")]
+    pub fn check_consistency(&self) {
+        for (i, &slot) in self.active.iter().enumerate() {
+            assert!(
+                self.packets[slot as usize].is_some(),
+                "active list names a vacated slot {slot}"
+            );
+            assert_eq!(
+                self.pos[slot as usize] as usize, i,
+                "pos[] out of sync with active list at {i}"
+            );
+        }
+        for (i, &slot) in self.drainers.iter().enumerate() {
+            assert!(
+                matches!(self.sched[slot as usize], Sched::Draining),
+                "drainer slot {slot} is not draining"
+            );
+            assert_eq!(
+                self.drain_pos[slot as usize] as usize, i,
+                "drain_pos[] out of sync with drainer list at {i}"
+            );
+        }
+        for (ch, &own) in self.owner.iter().enumerate() {
+            assert!(
+                own == FREE || self.packets[own as usize].is_some(),
+                "channel {ch} owned by vacated slot {own}"
+            );
+        }
+        let mut listed = 0usize;
+        for (ch, &head) in self.waiter_head.iter().enumerate() {
+            let mut w = head;
+            let mut steps = 0usize;
+            while w != NO_WAITER {
+                assert!(
+                    matches!(self.sched[w as usize], Sched::Waiting { ch: c, .. }
+                        if c as usize == ch),
+                    "slot {w} threaded on channel {ch}'s waiter list but not waiting on it"
+                );
+                listed += 1;
+                steps += 1;
+                assert!(steps <= self.packets.len(), "waiter list cycle on channel {ch}");
+                w = self.waiter_next[w as usize];
+            }
+        }
+        let waiting = self
+            .active
+            .iter()
+            .filter(|&&slot| matches!(self.sched[slot as usize], Sched::Waiting { .. }))
+            .count();
+        assert_eq!(listed, waiting, "waiter lists do not cover the Waiting packets");
     }
 
     /// Checks and claims physical-link bandwidth for a worm shift whose
@@ -408,7 +488,7 @@ impl Network {
             // contend for bandwidth — the claim trivially succeeds
             return true;
         }
-        let pkt = self.packets[slot].as_ref().unwrap();
+        let pkt = live(&self.packets, slot);
         for i in land_from..=land_to {
             let phys = self.topo.physical_of(pkt.path[i]) as usize;
             if self.phys_stamp[phys] == self.stamp {
@@ -438,7 +518,7 @@ impl Network {
             let Sched::Waiting { ch: c2, from } = self.sched[w as usize] else {
                 unreachable!("waiter list out of sync with scheduling state");
             };
-            debug_assert_eq!(c2 as usize, ch);
+            inv_assert_eq!(c2 as usize, ch);
             self.sched[w as usize] = Sched::Waking { from };
             let kw = self.order_key(w);
             if kw > key {
@@ -456,22 +536,22 @@ impl Network {
     /// position this cycle. Returns true when the packet has fully drained
     /// and its slot should be reclaimed.
     fn advance_packet(&mut self, slot: usize, now: Time, key: u32) -> bool {
-        #[cfg(debug_assertions)]
-        self.packets[slot].as_ref().unwrap().check_invariant();
+        #[cfg(any(debug_assertions, feature = "invariants"))]
+        live(&self.packets, slot).check_invariant();
         let s = self.stamp;
         match self.sched[slot] {
             Sched::Draining => {
-                let pkt = self.packets[slot].as_ref().unwrap();
+                let pkt = live(&self.packets, slot);
                 // One flit streams into the destination PE per cycle — if
                 // the physical links under the worm have bandwidth left.
                 let injecting = pkt.injected < pkt.len_flits;
                 let land_from = if injecting { pkt.tail } else { pkt.tail + 1 };
                 let land_to = pkt.path.len() - 1;
                 if land_from <= land_to && !self.claim_bandwidth(slot, land_from, land_to) {
-                    self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+                    live_mut(&mut self.packets, slot).blocked_cycles += 1;
                     return false;
                 }
-                let pkt = self.packets[slot].as_mut().unwrap();
+                let pkt = live_mut(&mut self.packets, slot);
                 pkt.ejected += 1;
                 if pkt.injected < pkt.len_flits {
                     // a fresh flit enters the inject channel in the same shift
@@ -482,7 +562,7 @@ impl Network {
                     pkt.tail += 1;
                     self.release_channel(freed, key);
                 }
-                let pkt = self.packets[slot].as_ref().unwrap();
+                let pkt = live(&self.packets, slot);
                 if pkt.ejected == pkt.len_flits {
                     let c = Completion {
                         tag: pkt.tag,
@@ -508,13 +588,13 @@ impl Network {
                 false
             }
             Sched::AttemptAt(due) => {
-                debug_assert_eq!(due, s, "routing-delay timer fired off-cycle");
+                inv_assert_eq!(due, s, "routing-delay timer fired off-cycle");
                 self.try_advance_header(slot, now, key)
             }
             Sched::Waking { from } => {
                 // settle the blocked cycles the reference engine would
                 // have accrued one by one while the channel stayed busy
-                self.packets[slot].as_mut().unwrap().blocked_cycles += s - from;
+                live_mut(&mut self.packets, slot).blocked_cycles += s - from;
                 self.try_advance_header(slot, now, key)
             }
             Sched::Eager => self.try_advance_header(slot, now, key),
@@ -528,14 +608,14 @@ impl Network {
     /// countdown-expired path), with waiter-list bookkeeping on failure.
     fn try_advance_header(&mut self, slot: usize, _now: Time, key: u32) -> bool {
         let s = self.stamp;
-        let pkt = self.packets[slot].as_ref().unwrap();
-        debug_assert!(!pkt.draining);
+        let pkt = live(&self.packets, slot);
+        inv_assert!(!pkt.draining);
         let next = pkt.head + 1;
         let next_ch = pkt.path[next];
         if self.owner[next_ch.index()] != FREE {
             // wormhole blocking: hold every occupied channel and wait on
             // the busy one; cycles until the wake accrue lazily
-            self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+            live_mut(&mut self.packets, slot).blocked_cycles += 1;
             self.sched[slot] = Sched::Waiting {
                 ch: next_ch.index() as u32,
                 from: s + 1,
@@ -550,13 +630,13 @@ impl Network {
         if !self.claim_bandwidth(slot, land_from, next) {
             // channel free but the physical link is saturated this cycle:
             // must re-attempt every cycle, like the reference engine
-            self.packets[slot].as_mut().unwrap().blocked_cycles += 1;
+            live_mut(&mut self.packets, slot).blocked_cycles += 1;
             self.sched[slot] = Sched::Eager;
             self.eager.push(slot as u32);
             return false;
         }
         // acquire and shift the worm forward one slot
-        let pkt = self.packets[slot].as_mut().unwrap();
+        let pkt = live_mut(&mut self.packets, slot);
         self.owner[next_ch.index()] = slot as u32;
         pkt.head = next;
         let mut freed: Option<usize> = None;
@@ -570,6 +650,7 @@ impl Network {
         if next == pkt.path.len() - 1 {
             pkt.draining = true; // header reached the ejection port
             self.sched[slot] = Sched::Draining;
+            // procsim-lint: allow(D005): drainers length is bounded by the packet arena, far under u32::MAX
             self.drain_pos[slot] = self.drainers.len() as u32;
             self.drainers.push(slot as u32);
         } else {
@@ -597,8 +678,11 @@ impl Network {
         }
         // a queued packet whose injection channel is free enters next cycle
         for &node in &self.pending_nodes {
-            let front = *self.inject_q[node as usize].front().unwrap() as usize;
-            let inj = self.packets[front].as_ref().unwrap().path[0];
+            // procsim-lint: allow(D004): invariant: pending_nodes only lists nodes whose inject_q is non-empty
+            let front = *self.inject_q[node as usize]
+                .front()
+                .expect("invariant: pending node with empty inject queue") as usize;
+            let inj = live(&self.packets, front).path[0];
             if self.owner[inj.index()] == FREE {
                 return 0;
             }

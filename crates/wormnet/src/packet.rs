@@ -71,6 +71,7 @@ impl PacketState {
     /// Number of router-to-router hops (path minus the two ports).
     #[inline]
     pub fn hops(&self) -> u32 {
+        // procsim-lint: allow(D005): a route visits each mesh node at most once, so path length fits u32
         (self.path.len() - 2) as u32
     }
 
@@ -81,7 +82,7 @@ impl PacketState {
     }
 
     /// Debug invariant: window length equals flits in network.
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "invariants"))]
     pub(crate) fn check_invariant(&self) {
         if self.injected > self.ejected {
             debug_assert_eq!(

@@ -7,6 +7,8 @@
 //! torus) and require byte-identical [`Completion`] streams and counters;
 //! any semantic drift in the optimized engine fails there first.
 
+// procsim-lint: test-only: included via `#[cfg(test)] pub mod reference` in lib.rs; never compiled into shipping simulators
+
 use crate::network::{Completion, NetCounters};
 use crate::packet::{PacketId, PacketState};
 use crate::routing::route;

@@ -37,7 +37,7 @@
 pub use desim::{EventQueue, SimRng, Time};
 pub use mesh2d::{
     decompose_pow2_squares, find_free_submesh, largest_free_rect, split_square, Coord, Mesh,
-    NodeId, OccupancySums, PageGrid, PageIndexing, SubMesh,
+    NodeId, PageGrid, PageIndexing, SubMesh,
 };
 pub use wormnet::{pattern_messages, route, xy_route, ChannelId, Completion, Network, Pattern, Topology, TopologyKind};
 
