@@ -70,6 +70,48 @@ fn bench_step_cost(c: &mut Criterion) {
     });
 }
 
+fn bench_queued_senders(c: &mut Criterion) {
+    // hundreds of senders parked on busy injection channels: every node
+    // floods a single hotspot destination, so each node's first worm
+    // stalls with its tail still on the injection channel and the rest
+    // of its queue waits at the source. Per-cycle progress is a trickle
+    // (the hotspot ejects one flit per cycle), which makes the cost of
+    // *accounting* for the parked senders the dominant term.
+    c.bench_function("network/step_500_queued_senders", |b| {
+        let dst = Coord::new(8, 11);
+        let mut n = Network::new(16, 22, 3);
+        let fill = |n: &mut Network, t: u64| {
+            let mut tag = 0u64;
+            for y in 0..22u16 {
+                for x in 0..16u16 {
+                    let s = Coord::new(x, y);
+                    if s != dst {
+                        for _ in 0..2 {
+                            n.send(s, dst, 16, tag, t);
+                            tag += 1;
+                        }
+                    }
+                }
+            }
+        };
+        fill(&mut n, 0);
+        let mut t = 0;
+        // warm until the first wave of worms is injected and wedged
+        for _ in 0..64 {
+            n.step(t);
+            t += 1;
+        }
+        b.iter(|| {
+            if n.queued_count() < 300 {
+                fill(&mut n, t);
+            }
+            n.step(t);
+            t += 1;
+            black_box(n.queued_count())
+        })
+    });
+}
+
 fn bench_advance_until(c: &mut Criterion) {
     // contended: compressed advancement over a 64-cycle window while the
     // network is saturated with worms (compare against 64× step cost)
@@ -128,6 +170,7 @@ criterion_group!(
     bench_single_packet,
     bench_all_to_all,
     bench_step_cost,
+    bench_queued_senders,
     bench_advance_until,
     bench_routing
 );

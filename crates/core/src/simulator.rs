@@ -539,11 +539,14 @@ impl Simulator {
                 // Event-compressed advancement: the network has proven
                 // that the next `leap` cycles are inert (every worm is in
                 // routing delay or blocked on a channel that cannot be
-                // released before then, and no injection can proceed), so
-                // leap to the next job-level event or the network's next
-                // possible progress, whichever comes first. The skipped
-                // cycles are applied to the network in O(1); nothing
-                // observable differs from stepping them one by one.
+                // released before then, and every queued sender is parked
+                // behind its own busy injection channel). Since senders
+                // became waiter-driven the proof itself is O(1) — parked
+                // nodes need no rescan — so leap to the next job-level
+                // event or the network's next possible progress, whichever
+                // comes first. The skipped cycles are applied to the
+                // network in O(1); nothing observable differs from
+                // stepping them one by one.
                 let mut stop = self.now + leap;
                 if let Some(te) = self.events.peek_time() {
                     stop = stop.min(te);

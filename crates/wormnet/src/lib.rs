@@ -57,6 +57,8 @@ macro_rules! inv_assert_eq {
     };
 }
 
+#[cfg(test)]
+mod differential;
 pub mod network;
 pub mod packet;
 pub mod pattern;

@@ -20,6 +20,12 @@
 //! * Packets that lost only the physical-link **bandwidth race** (possible
 //!   when virtual channels share links, i.e. on the torus) stay *eager*
 //!   and re-attempt every cycle, as in the reference engine.
+//! * Source nodes with queued packets are waiter-driven too: a node whose
+//!   front packet is blocked on its busy injection channel is **parked**
+//!   and costs nothing per cycle; releasing the channel (the previous
+//!   worm's tail leaving it) marks the node **ready**, and only ready
+//!   nodes are visited by the injection phase. Injection channels are
+//!   per-node exclusive, so each channel has at most one parked sender.
 //!
 //! Arbitration fairness is preserved exactly: eligible packets are
 //! processed in the same rotating order over the active list as the
@@ -111,6 +117,25 @@ enum Sched {
     Draining,
 }
 
+/// Why a source node's injection queue is (or is not) eligible to inject
+/// in upcoming cycles — the node-level mirror of [`Sched`]. A node is in
+/// exactly one state, and only `Ready` nodes cost anything per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjState {
+    /// Injection queue empty; the node is not in `pending_nodes`.
+    Idle,
+    /// Queue non-empty but the node's injection channel is still owned by
+    /// an earlier packet from this same node (injection channels are
+    /// per-node exclusive). The node is woken by
+    /// [`Network::release_channel`] when the owning worm's tail leaves
+    /// the channel, and costs nothing until then.
+    Parked,
+    /// Queue non-empty and the injection channel is free: the front
+    /// packet enters at the next injection phase. The node sits in
+    /// `inject_ready`.
+    Ready,
+}
+
 /// The wormhole network simulator. See the crate docs for the model.
 #[derive(Debug)]
 pub struct Network {
@@ -149,8 +174,23 @@ pub struct Network {
     cycle_heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Per-node injection FIFO (packet slots waiting to enter).
     inject_q: Vec<VecDeque<u32>>,
-    /// Nodes with non-empty injection queues.
+    /// Nodes with non-empty injection queues, in the exact order the
+    /// retired scan engine visited them (push on first enqueue,
+    /// `swap_remove` on empty) — the order still decides same-cycle
+    /// injection sequence and therefore every future arbitration
+    /// position, but it is no longer scanned per cycle.
     pending_nodes: Vec<u32>,
+    /// Position of each node in `pending_nodes` (parallel to `inject_q`;
+    /// meaningful only while the node is pending).
+    pending_pos: Vec<u32>,
+    /// Injection scheduling state per node (parallel to `inject_q`).
+    inj_state: Vec<InjState>,
+    /// Nodes in [`InjState::Ready`]: their front packet enters at the
+    /// next injection phase. Unordered — the phase orders them by
+    /// `pending_pos` to replay the scan order exactly.
+    inject_ready: Vec<u32>,
+    /// Scratch heap ordering one cycle's ready nodes by scan position.
+    inject_heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Completions not yet drained by the caller.
     completed: Vec<Completion>,
     counters: NetCounters,
@@ -222,6 +262,10 @@ impl Network {
             cycle_heap: BinaryHeap::new(),
             inject_q: vec![VecDeque::new(); nodes],
             pending_nodes: Vec::new(),
+            pending_pos: vec![0; nodes],
+            inj_state: vec![InjState::Idle; nodes],
+            inject_ready: Vec::new(),
+            inject_heap: BinaryHeap::new(),
             completed: Vec::new(),
             counters: NetCounters::default(),
             rr: 0,
@@ -276,6 +320,7 @@ impl Network {
     /// minimal with dateline VCs on torus). Returns the packet's slab slot.
     pub fn send(&mut self, src: Coord, dst: Coord, len_flits: u32, tag: u64, now: Time) -> PacketId {
         let path = route(&self.topo, src, dst);
+        let inj = path[0];
         let pkt = PacketState::new(path, len_flits, tag, now);
         let slot = match self.free_slots.pop() {
             Some(s) => {
@@ -295,7 +340,19 @@ impl Network {
         };
         let node = (src.y as u32 * self.topo.width() as u32 + src.x as u32) as usize;
         if self.inject_q[node].is_empty() {
+            // first packet queued at this node: it joins the pending set
+            // and is ready (or parked) according to its injection
+            // channel, which only a previous packet from this node can
+            // hold
+            // procsim-lint: allow(D005): pending_nodes length is bounded by the node count, far under u32::MAX
+            self.pending_pos[node] = self.pending_nodes.len() as u32;
             self.pending_nodes.push(node as u32);
+            if self.owner[inj.index()] == FREE {
+                self.inj_state[node] = InjState::Ready;
+                self.inject_ready.push(node as u32);
+            } else {
+                self.inj_state[node] = InjState::Parked;
+            }
         }
         self.inject_q[node].push_back(slot);
         PacketId(slot)
@@ -381,17 +438,43 @@ impl Network {
 
         // --- injection phase -------------------------------------------------
         // A node's next queued packet enters iff its injection channel is
-        // free. Newly injected packets do not move until the next cycle.
-        let mut k = 0;
-        while k < self.pending_nodes.len() {
-            let node = self.pending_nodes[k] as usize;
-            let q = &mut self.inject_q[node];
-            inv_assert!(!q.is_empty());
-            // procsim-lint: allow(D004): invariant: pending_nodes only lists nodes whose inject_q is non-empty (asserted above)
-            let front = *q.front().expect("invariant: pending node with empty inject queue") as usize;
-            let inj = live(&self.packets, front).path[0];
-            if self.owner[inj.index()] == FREE {
-                q.pop_front();
+        // free. Only *ready* nodes are visited: parked senders were woken
+        // into `inject_ready` by `release_channel` and cost nothing here.
+        // Ready nodes are processed in the exact order the retired scan
+        // visited them — ascending `pending_nodes` position, with a node
+        // whose queue empties `swap_remove`d mid-phase so the tail node
+        // is visited at its new (lower) position — because the resulting
+        // `active`-list insertion order fixes every future arbitration
+        // position. Newly injected packets do not move until the next
+        // cycle.
+        if !self.inject_ready.is_empty() {
+            inv_assert!(self.inject_heap.is_empty());
+            for &node in &self.inject_ready {
+                self.inject_heap
+                    .push(Reverse((self.pending_pos[node as usize], node)));
+            }
+            self.inject_ready.clear();
+            while let Some(Reverse((p, node))) = self.inject_heap.pop() {
+                let node = node as usize;
+                if self.inj_state[node] != InjState::Ready || self.pending_pos[node] != p {
+                    // stale entry: the node moved to a lower position when
+                    // another node was swap_remove'd (a fresh entry with
+                    // the new position was pushed then)
+                    continue;
+                }
+                inv_assert!(!self.inject_q[node].is_empty());
+                // procsim-lint: allow(D004): invariant: a Ready node's inject_q is non-empty (asserted above)
+                let front = *self.inject_q[node]
+                    .front()
+                    .expect("invariant: ready node with empty inject queue")
+                    as usize;
+                let inj = live(&self.packets, front).path[0];
+                inv_assert_eq!(
+                    self.owner[inj.index()],
+                    FREE,
+                    "ready node with busy injection channel"
+                );
+                self.inject_q[node].pop_front();
                 let pkt = live_mut(&mut self.packets, front);
                 self.owner[inj.index()] = front as u32;
                 pkt.head = 0;
@@ -404,12 +487,25 @@ impl Network {
                 // procsim-lint: allow(D005): active list length is bounded by the packet arena, far under u32::MAX
                 self.pos[front] = self.active.len() as u32;
                 self.active.push(front as u32);
-                if q.is_empty() {
-                    self.pending_nodes.swap_remove(k);
-                    continue; // k now points at a different node
+                if self.inject_q[node].is_empty() {
+                    // replay the scan's mid-phase swap_remove: the tail
+                    // node moves to position `p` and is visited there if
+                    // it is ready
+                    self.inj_state[node] = InjState::Idle;
+                    self.pending_nodes.swap_remove(p as usize);
+                    if (p as usize) < self.pending_nodes.len() {
+                        let moved = self.pending_nodes[p as usize];
+                        self.pending_pos[moved as usize] = p;
+                        if self.inj_state[moved as usize] == InjState::Ready {
+                            self.inject_heap.push(Reverse((p, moved)));
+                        }
+                    }
+                } else {
+                    // the packet just injected owns the channel now; the
+                    // node parks until the worm's tail releases it
+                    self.inj_state[node] = InjState::Parked;
                 }
             }
-            k += 1;
         }
 
         #[cfg(feature = "invariants")]
@@ -419,10 +515,12 @@ impl Network {
     /// Cross-validates the arbitration bookkeeping against the packet
     /// slab: the `active`/`pos` and `drainers`/`drain_pos` permutations
     /// must be mutual inverses over live slots, every channel-owner
-    /// entry must name a live packet, and the intrusive waiter lists
-    /// must thread exactly the `Waiting` packets through the channels
-    /// they wait on. O(channels + packets) per cycle; compiled only
-    /// under `--features invariants`.
+    /// entry must name a live packet, the intrusive waiter lists must
+    /// thread exactly the `Waiting` packets through the channels they
+    /// wait on, and the injection layer's parked/ready node states must
+    /// exactly partition `pending_nodes` and agree with the channel
+    /// owner table. O(channels + packets + nodes) per cycle; compiled
+    /// only under `--features invariants`.
     #[cfg(feature = "invariants")]
     pub fn check_consistency(&self) {
         for (i, &slot) in self.active.iter().enumerate() {
@@ -473,6 +571,85 @@ impl Network {
             .filter(|&&slot| matches!(self.sched[slot as usize], Sched::Waiting { .. }))
             .count();
         assert_eq!(listed, waiting, "waiter lists do not cover the Waiting packets");
+
+        // injection layer: the parked/ready node states must exactly
+        // partition the pending set, agree with the queue contents and
+        // the channel owner table, and the ready list must mirror the
+        // Ready states one-to-one
+        assert!(
+            self.inject_heap.is_empty(),
+            "injection scratch heap leaked entries across cycles"
+        );
+        let mut ready_listed = vec![false; self.inject_q.len()];
+        for &node in &self.inject_ready {
+            assert!(
+                matches!(self.inj_state[node as usize], InjState::Ready),
+                "inject_ready lists node {node} that is not Ready"
+            );
+            assert!(
+                !ready_listed[node as usize],
+                "node {node} listed twice in inject_ready"
+            );
+            ready_listed[node as usize] = true;
+        }
+        for (i, &node) in self.pending_nodes.iter().enumerate() {
+            assert!(
+                !self.inject_q[node as usize].is_empty(),
+                "pending node {node} has an empty inject_q"
+            );
+            assert_eq!(
+                self.pending_pos[node as usize] as usize, i,
+                "pending_pos[] out of sync with pending_nodes at {i}"
+            );
+        }
+        let mut parked_or_ready = 0usize;
+        for (node, q) in self.inject_q.iter().enumerate() {
+            let state = self.inj_state[node];
+            if q.is_empty() {
+                assert_eq!(state, InjState::Idle, "node {node} idle-state mismatch");
+                assert!(!ready_listed[node], "idle node {node} in inject_ready");
+                continue;
+            }
+            parked_or_ready += 1;
+            // procsim-lint: allow(D004): invariant: the q.is_empty() arm above continues, so the queue has a front
+            let front = *q.front().expect("non-empty queue has a front") as usize;
+            assert!(
+                self.packets[front].is_some(),
+                "node {node} queues a vacated slot {front}"
+            );
+            assert!(
+                matches!(self.sched[front], Sched::Queued),
+                "queued slot {front} has in-network scheduling state"
+            );
+            let inj = live(&self.packets, front).path[0];
+            match state {
+                InjState::Idle => panic!("node {node} has queued packets but is Idle"),
+                InjState::Parked => {
+                    assert_ne!(
+                        self.owner[inj.index()],
+                        FREE,
+                        "parked node {node} with a free injection channel"
+                    );
+                    assert!(
+                        !ready_listed[node],
+                        "node {node} is both parked and in the ready set"
+                    );
+                }
+                InjState::Ready => {
+                    assert_eq!(
+                        self.owner[inj.index()],
+                        FREE,
+                        "ready node {node} with a busy injection channel"
+                    );
+                    assert!(ready_listed[node], "ready node {node} missing from inject_ready");
+                }
+            }
+        }
+        assert_eq!(
+            parked_or_ready,
+            self.pending_nodes.len(),
+            "parked/ready states do not partition the pending set"
+        );
     }
 
     /// Checks and claims physical-link bandwidth for a worm shift whose
@@ -507,8 +684,26 @@ impl Network {
     /// position) attempts within the *current* cycle — in the reference
     /// engine it would scan the channel after the release. A waiter that
     /// already had its (failed) attempt this cycle is queued for the next.
+    ///
+    /// Releasing an injection channel instead wakes the (unique) sender
+    /// parked on it: the node becomes ready and its front packet enters
+    /// at this cycle's injection phase — which runs after the whole
+    /// movement phase, so a mid-movement release is always "in time",
+    /// exactly as the retired scan saw post-movement channel state.
     fn release_channel(&mut self, ch: usize, key: u32) {
         self.owner[ch] = FREE;
+        if let Some(node) = self.topo.injection_node_of(crate::topology::ChannelId(ch as u32)) {
+            let node = node as usize;
+            if self.inj_state[node] == InjState::Parked {
+                self.inj_state[node] = InjState::Ready;
+                self.inject_ready.push(node as u32);
+            }
+            // a packet header never waits on an injection channel (only
+            // same-node packets route through it, and they enter via the
+            // injection phase), so the waiter list below is empty
+            inv_assert_eq!(self.waiter_head[ch], NO_WAITER);
+            return;
+        }
         let mut w = self.waiter_head[ch];
         if w == NO_WAITER {
             return;
@@ -672,23 +867,23 @@ impl Network {
     /// effects — routing-delay countdowns, blocked-cycle accrual, the
     /// arbitration rotation — are applied in O(1) by
     /// [`Network::skip_cycles`].
+    ///
+    /// O(1): queued senders are accounted for by the ready set without
+    /// scanning them — a parked sender's injection channel is owned by an
+    /// earlier packet from the same node, and that owner can only release
+    /// it by moving, which itself requires a non-inert cycle (see
+    /// `docs/PERFORMANCE.md`).
     pub fn skippable_cycles(&self) -> u64 {
         if !self.drainers.is_empty() || !self.eager.is_empty() || !self.wake_queue.is_empty() {
             return 0;
         }
-        // a queued packet whose injection channel is free enters next cycle
-        for &node in &self.pending_nodes {
-            // procsim-lint: allow(D004): invariant: pending_nodes only lists nodes whose inject_q is non-empty
-            let front = *self.inject_q[node as usize]
-                .front()
-                .expect("invariant: pending node with empty inject queue") as usize;
-            let inj = live(&self.packets, front).path[0];
-            if self.owner[inj.index()] == FREE {
-                return 0;
-            }
+        // a ready node's front packet enters next cycle
+        if !self.inject_ready.is_empty() {
+            return 0;
         }
-        // every active packet is now Waiting or AttemptAt; nothing can
-        // happen before the earliest timer fires
+        // every active packet is now Waiting or AttemptAt and every
+        // queued sender is parked; nothing can happen before the earliest
+        // timer fires
         match self.attempts.peek() {
             Some(&Reverse((due, _))) => due - self.stamp - 1,
             None => 0,
@@ -710,7 +905,8 @@ impl Network {
     /// The earliest absolute cycle at or after which the network state can
     /// change, given the current time `now` — `None` when the network is
     /// idle (it then changes only through [`Network::send`]). The gap to
-    /// `now` is computed in O(pending nodes), not by stepping.
+    /// `now` is computed in O(1), not by stepping: queued senders are
+    /// accounted for by the parked/ready states without scanning them.
     pub fn next_progress_time(&self, now: Time) -> Option<Time> {
         if self.is_idle() {
             None
@@ -760,6 +956,64 @@ impl Network {
             t += 1;
         }
         t
+    }
+}
+
+/// Test-only projection of everything that decides *future* behaviour of
+/// an engine: the rotating arbitration state, the channel ownership, and
+/// the injection queues in visit order. Two engines whose snapshots are
+/// equal at a cycle boundary — and stay equal at every later boundary —
+/// are observationally identical. Compared cycle-by-cycle by the
+/// differential battery in `crate::differential`.
+#[cfg(test)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArbSnapshot {
+    /// Active packet slots in arbitration (position) order.
+    pub active: Vec<u32>,
+    /// Rotating arbitration offset.
+    pub rr: usize,
+    /// Channel owner table (slot or `u32::MAX` for free).
+    pub owner: Vec<u32>,
+    /// Nodes with queued packets, in injection-phase visit order.
+    pub pending_nodes: Vec<u32>,
+    /// Per-node injection FIFO contents (packet slots, front first).
+    pub inject_q: Vec<Vec<u32>>,
+    /// Lifetime counters.
+    pub counters: NetCounters,
+}
+
+#[cfg(test)]
+impl Network {
+    /// Captures this engine's [`ArbSnapshot`].
+    pub fn arb_snapshot(&self) -> ArbSnapshot {
+        ArbSnapshot {
+            active: self.active.clone(),
+            rr: self.rr,
+            owner: self.owner.clone(),
+            pending_nodes: self.pending_nodes.clone(),
+            inject_q: self
+                .inject_q
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            counters: self.counters,
+        }
+    }
+
+    /// Number of sender nodes parked on a busy injection channel
+    /// (test-only: lets the battery assert a scenario actually exercised
+    /// the parked path).
+    pub fn parked_nodes(&self) -> usize {
+        self.inj_state
+            .iter()
+            .filter(|&&s| s == InjState::Parked)
+            .count()
+    }
+
+    /// Number of sender nodes whose front packet enters at the next
+    /// injection phase.
+    pub fn ready_nodes(&self) -> usize {
+        self.inject_ready.len()
     }
 }
 
@@ -897,6 +1151,10 @@ mod tests {
         assert!(n.waiter_head.iter().all(|&w| w == NO_WAITER));
         assert!(n.drainers.is_empty() && n.eager.is_empty() && n.wake_queue.is_empty());
         assert!(n.attempts.is_empty());
+        // the injection layer is clean too: no parked or ready senders
+        assert!(n.inj_state.iter().all(|&st| st == InjState::Idle));
+        assert!(n.inject_ready.is_empty() && n.inject_heap.is_empty());
+        assert!(n.pending_nodes.is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 // procsim-lint: test-only: included via `#[cfg(test)] pub mod reference` in lib.rs; never compiled into shipping simulators
 
-use crate::network::{Completion, NetCounters};
+use crate::network::{ArbSnapshot, Completion, NetCounters};
 use crate::packet::{PacketId, PacketState};
 use crate::routing::route;
 use crate::topology::Topology;
@@ -70,6 +70,33 @@ impl ReferenceNetwork {
     /// Lifetime counters.
     pub fn counters(&self) -> NetCounters {
         self.counters
+    }
+
+    /// Packets waiting in source injection queues (same contract as
+    /// [`crate::Network::queued_count`]).
+    pub fn queued_count(&self) -> usize {
+        self.pending_nodes
+            .iter()
+            .map(|&n| self.inject_q[n as usize].len())
+            .sum()
+    }
+
+    /// Captures this engine's [`ArbSnapshot`] — the future-deciding state
+    /// the differential battery compares against the optimized engine at
+    /// every cycle boundary.
+    pub fn arb_snapshot(&self) -> ArbSnapshot {
+        ArbSnapshot {
+            active: self.active.clone(),
+            rr: self.rr,
+            owner: self.owner.clone(),
+            pending_nodes: self.pending_nodes.clone(),
+            inject_q: self
+                .inject_q
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            counters: self.counters,
+        }
     }
 
     /// Hands a packet to `src`'s injection queue (same contract as

@@ -259,6 +259,20 @@ impl Topology {
         ChannelId(self.node_index(node) * self.per_node + Direction::COUNT * self.vcs + 1)
     }
 
+    /// The node whose injection channel `ch` is, or `None` when `ch` is a
+    /// link or ejection channel. Injection channels are per-node
+    /// exclusive — only packets sourced at that node ever hold one — so
+    /// the network engine uses this to wake the (unique) parked sender
+    /// when its injection channel is released.
+    #[inline]
+    pub fn injection_node_of(&self, ch: ChannelId) -> Option<u32> {
+        if ch.0 % self.per_node == Direction::COUNT * self.vcs {
+            Some(ch.0 / self.per_node)
+        } else {
+            None
+        }
+    }
+
     /// Maps a virtual channel to its physical resource: link VCs of the
     /// same (node, direction) share one physical link's bandwidth;
     /// injection/ejection ports are their own resources. Used by the
@@ -376,6 +390,28 @@ mod tests {
     #[should_panic(expected = "torus DOR needs")]
     fn torus_with_one_vc_rejected() {
         let _ = Topology::with_kind(4, 4, TopologyKind::Torus, 1);
+    }
+
+    #[test]
+    fn injection_node_round_trip() {
+        for t in [Topology::new(4, 3), Topology::new_torus(4, 3)] {
+            for y in 0..3u16 {
+                for x in 0..4u16 {
+                    let n = Coord::new(x, y);
+                    let node = y as u32 * 4 + x as u32;
+                    assert_eq!(t.injection_node_of(t.inject(n)), Some(node));
+                    assert_eq!(t.injection_node_of(t.eject(n)), None);
+                    for d in [Direction::East, Direction::West, Direction::North, Direction::South]
+                    {
+                        if t.has_link(n, d) {
+                            for vc in 0..t.vcs() {
+                                assert_eq!(t.injection_node_of(t.link_vc(n, d, vc)), None);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
