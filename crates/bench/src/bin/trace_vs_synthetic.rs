@@ -40,9 +40,10 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/traces/sdsc_sample.swf"
     );
-    let text = std::fs::read_to_string(sample_path)
-        .unwrap_or_else(|e| panic!("cannot read {sample_path}: {e} (run `procsim gen-trace`?)"));
-    let trace = Arc::new(TraceWorkload::from_swf(&text).expect("sample parses"));
+    let trace = Arc::new(
+        TraceWorkload::open(sample_path)
+            .unwrap_or_else(|e| panic!("cannot open {sample_path}: {e} (run `procsim gen-trace`?)")),
+    );
     // a replication consumes at most one pass over the trace: cap the
     // per-replication job budget to the sample's length (--full would
     // otherwise silently measure fewer jobs than the paper protocol)

@@ -49,6 +49,14 @@ pub enum WorkloadSpec {
     /// on this mesh equals `load`. Replications replay segments offset
     /// exactly like [`WorkloadSpec::FixedTrace`] (disjoint when the trace
     /// is long enough), and the same one-pass length cap applies.
+    ///
+    /// Replay is **streaming**: records are parsed (for file-backed
+    /// workloads from [`TraceWorkload::open`]) and scaled lazily, one
+    /// per arrival, so simulator memory is bounded by the live-job count
+    /// — a million-job archive log replays without ever being
+    /// materialized. Metrics are bit-identical to pre-scaling the whole
+    /// stream into a [`WorkloadSpec::FixedTrace`]
+    /// (`crates/core/tests/streaming_trace.rs` proves it).
     Trace {
         /// The wrapped trace.
         trace: std::sync::Arc<TraceWorkload>,

@@ -64,16 +64,24 @@ struct JobState {
 /// their job populations overlap.
 fn trace_source(jobs: Arc<Vec<JobSpec>>, rep: u64, needed: usize) -> Source {
     let len = jobs.len();
-    let stride = (needed % len).max(1);
-    let pos = (rep as usize * stride) % len;
+    let (pos, _) = segment_start(len, rep, needed);
     let base = jobs[pos].arrive;
-    Source::Trace {
+    Source::Fixed {
         jobs,
         pos,
         base,
         shift: 0,
         remaining: len,
     }
+}
+
+/// The per-replication segment offset shared by the materialized
+/// ([`Source::Fixed`]) and streaming ([`Source::Stream`]) replay paths:
+/// `(start index, stride)` for replication `rep` of a `len`-record trace
+/// when a run consumes `needed` jobs.
+fn segment_start(len: usize, rep: u64, needed: usize) -> (usize, usize) {
+    let stride = (needed % len).max(1);
+    ((rep as usize).wrapping_mul(stride) % len, stride)
 }
 
 /// Where the next arrival comes from.
@@ -83,7 +91,13 @@ enum Source {
         clock: Time,
         next_id: u64,
     },
-    Trace {
+    /// A materialized, pre-scaled job list (`FixedTrace` /
+    /// `SyntheticTrace`). Also the retained equivalence oracle for
+    /// [`Source::Stream`]: both replay segments with identical
+    /// rebase/wrap arithmetic, and
+    /// `crates/core/tests/streaming_trace.rs` pins the two paths to
+    /// bit-identical metrics.
+    Fixed {
         jobs: Arc<Vec<JobSpec>>,
         pos: usize,
         /// Arrival-time rebase so the segment starts at 0 (subtracted).
@@ -92,6 +106,26 @@ enum Source {
         /// prefix continues seamlessly after the tail with its original
         /// inter-arrival gaps instead of flooding in at the current
         /// clock.
+        shift: Time,
+        /// Wrap-around segment end (exclusive index distance).
+        remaining: usize,
+    },
+    /// Streaming replay of a [`workload::TraceWorkload`]
+    /// (`WorkloadSpec::Trace`): records are parsed and scaled lazily,
+    /// one per arrival, so memory holds only the cursor and the live
+    /// jobs — never the trace. The cursor's job ids are the record
+    /// indexes, which is what makes lazy rebasing possible.
+    Stream {
+        jobs: workload::ScaledJobs,
+        /// Record index of the last record (wrap detection: the cursor
+        /// itself is endless).
+        last_id: u64,
+        /// Arrival-time rebase, captured lazily from the first job the
+        /// cursor yields (equivalently to [`Source::Fixed`]'s eager
+        /// `jobs[pos].arrive`: the first yielded job *is* record `pos`,
+        /// and after a wrap it is record 0).
+        base: Option<Time>,
+        /// Accumulated post-wrap offset, as in [`Source::Fixed`].
         shift: Time,
         /// Wrap-around segment end (exclusive index distance).
         remaining: usize,
@@ -190,7 +224,7 @@ impl Simulator {
                 let f = workload::paragon::factor_for_load(m.mean_interarrival_s, *load);
                 let jobs = trace_to_jobs(&records, cfg.mesh_w, cfg.mesh_l, f, *runtime_scale);
                 let remaining = jobs.len();
-                Source::Trace {
+                Source::Fixed {
                     jobs: Arc::new(jobs),
                     pos: 0,
                     base: 0,
@@ -207,13 +241,20 @@ impl Simulator {
                 load,
                 runtime_scale,
             } => {
-                // the scaled stream is a pure function of (trace, mesh,
-                // load), so all replications (and all strategies sharing
-                // the trace) reuse one memoized conversion — only the
-                // starting segment differs per replication
-                let jobs =
-                    trace.jobs_at_load_shared(cfg.mesh_w, cfg.mesh_l, *load, *runtime_scale);
-                trace_source(jobs, rep, needed)
+                // streaming replay: the scaled stream is never
+                // materialized — each replication opens its own lazy
+                // cursor at its segment offset, and concurrent
+                // replications of the same (trace, mesh, rho) share only
+                // the trace source (no per-point cache to double-fill)
+                let len = trace.len();
+                let (pos, _) = segment_start(len, rep, needed);
+                Source::Stream {
+                    jobs: trace.stream_jobs(cfg.mesh_w, cfg.mesh_l, *load, *runtime_scale, pos),
+                    last_id: (len - 1) as u64,
+                    base: None,
+                    shift: 0,
+                    remaining: len,
+                }
             }
         };
 
@@ -255,7 +296,7 @@ impl Simulator {
                 *next_id += 1;
                 self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
             }
-            Source::Trace {
+            Source::Fixed {
                 jobs,
                 pos,
                 base,
@@ -282,6 +323,35 @@ impl Simulator {
                     *base = jobs[0].arrive;
                     *shift = rebased + 1;
                 }
+                self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
+            }
+            Source::Stream {
+                jobs,
+                last_id,
+                base,
+                shift,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return;
+                }
+                *remaining -= 1;
+                let Some(mut job) = jobs.next() else {
+                    return; // unreachable: the cursor is endless
+                };
+                // same rebase/wrap arithmetic as Source::Fixed, with the
+                // base captured lazily: the first job yielded after
+                // construction (or after a wrap) is exactly the record
+                // Fixed would have read its base from
+                let b = *base.get_or_insert(job.arrive);
+                let rebased = job.arrive.saturating_sub(b) + *shift;
+                if job.id == *last_id {
+                    // wrap-around next: the prefix continues right after
+                    // the tail with its original inter-arrival gaps
+                    *base = None;
+                    *shift = rebased + 1;
+                }
+                job.arrive = self.now.max(rebased);
                 self.events.schedule(job.arrive.max(self.now), Ev::Arrival(job));
             }
         }

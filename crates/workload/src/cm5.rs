@@ -53,31 +53,37 @@ impl Default for Cm5Model {
 }
 
 impl Cm5Model {
-    /// Generates the synthetic trace.
-    pub fn generate(&self, rng: &mut SimRng) -> Vec<TraceRecord> {
+    /// Lazily generates the synthetic trace, one record per `next()`
+    /// (draw order identical to [`generate`](Self::generate) for the
+    /// same seed — see [`crate::ParagonModel::stream`]).
+    pub fn stream<'a>(&'a self, rng: &'a mut SimRng) -> impl Iterator<Item = TraceRecord> + 'a {
         assert!(!self.size_menu.is_empty());
         let total_w: f64 = self.size_menu.iter().map(|(_, w)| w).sum();
         let mu_rt = self.runtime_median_s.ln();
         let mut t = 0.0f64;
-        (0..self.jobs)
-            .map(|_| {
-                t += rng.exp(self.mean_interarrival_s);
-                let mut pick = rng.uniform01() * total_w;
-                let mut size = self.size_menu[0].0;
-                for &(s, w) in &self.size_menu {
-                    if pick < w {
-                        size = s;
-                        break;
-                    }
-                    pick -= w;
+        (0..self.jobs).map(move |_| {
+            t += rng.exp(self.mean_interarrival_s);
+            let mut pick = rng.uniform01() * total_w;
+            let mut size = self.size_menu[0].0;
+            for &(s, w) in &self.size_menu {
+                if pick < w {
+                    size = s;
+                    break;
                 }
-                TraceRecord {
-                    submit_s: t,
-                    size,
-                    runtime_s: rng.lognormal(mu_rt, self.runtime_sigma).max(1.0),
-                }
-            })
-            .collect()
+                pick -= w;
+            }
+            TraceRecord {
+                submit_s: t,
+                size,
+                runtime_s: rng.lognormal(mu_rt, self.runtime_sigma).max(1.0),
+            }
+        })
+    }
+
+    /// Generates the synthetic trace (a `collect()` of
+    /// [`stream`](Self::stream)).
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<TraceRecord> {
+        self.stream(rng).collect()
     }
 }
 
@@ -112,5 +118,17 @@ mod tests {
     fn deterministic() {
         let m = Cm5Model::default();
         assert_eq!(m.generate(&mut SimRng::new(9)), m.generate(&mut SimRng::new(9)));
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let m = Cm5Model {
+            jobs: 500,
+            ..Default::default()
+        };
+        let batch = m.generate(&mut SimRng::new(13));
+        let mut rng = SimRng::new(13);
+        let streamed: Vec<_> = m.stream(&mut rng).collect();
+        assert_eq!(streamed, batch);
     }
 }

@@ -20,6 +20,14 @@
 //! workloads and by the paper's arrival-scaling factor `f` for traces
 //! (wrapped, for genuine SWF files, by [`TraceWorkload`] which targets an
 //! *offered load* — see `docs/WORKLOADS.md`).
+//!
+//! Trace replay is a **streaming pipeline**: [`swf::SwfRecords`] parses
+//! one record at a time from any `BufRead` source,
+//! [`TraceWorkload::open`] validates a file and computes scaling
+//! statistics in one online pass, and [`trace::ScaledJobs`] applies the
+//! offered-load factor lazily — so million-job archive logs replay in
+//! memory bounded by the live-job count, not the trace length
+//! (`docs/WORKLOADS.md` § Streaming pipeline).
 
 pub mod cm5;
 pub mod paragon;
@@ -32,11 +40,15 @@ use desim::Time;
 use serde::{Deserialize, Serialize};
 
 pub use cm5::Cm5Model;
-pub use paragon::{factor_for_load, load_for_factor, trace_to_jobs, ParagonModel, TraceRecord};
-pub use stats::{summarize, TraceSummary};
+pub use paragon::{
+    factor_for_load, load_for_factor, scale_trace_record, trace_to_jobs, ParagonModel, TraceRecord,
+};
+pub use stats::{summarize, summarize_stream, StreamingSummary, TraceSummary};
 pub use stochastic::{SideDist, StochasticGen};
-pub use swf::{parse_swf, write_swf, SwfError, SwfErrorKind};
-pub use trace::{TraceError, TraceWorkload};
+pub use swf::{
+    parse_swf, parse_swf_retained, write_swf, write_swf_to, SwfError, SwfErrorKind, SwfRecords,
+};
+pub use trace::{RecordIter, ScaledJobs, TraceError, TraceWorkload};
 
 /// One job as consumed by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -110,20 +110,30 @@ impl ParagonModel {
         }
     }
 
-    /// Generates the full synthetic trace.
-    pub fn generate(&self, rng: &mut SimRng) -> Vec<TraceRecord> {
+    /// Lazily generates the synthetic trace, one record per `next()`.
+    ///
+    /// Draw order per job (gap, size, runtime) is identical to
+    /// [`generate`](Self::generate), so for the same seed the stream and
+    /// the batch are record-for-record equal — `gen-trace` pipes this
+    /// straight into [`crate::swf::write_swf_to`] to write million-job
+    /// fixtures in O(1) memory.
+    pub fn stream<'a>(&'a self, rng: &'a mut SimRng) -> impl Iterator<Item = TraceRecord> + 'a {
         let mu_rt = self.runtime_median_s.ln();
         let mut t = 0.0f64;
-        (0..self.jobs)
-            .map(|_| {
-                t += self.draw_gap(rng);
-                TraceRecord {
-                    submit_s: t,
-                    size: self.draw_size(rng),
-                    runtime_s: rng.lognormal(mu_rt, self.runtime_sigma).max(1.0),
-                }
-            })
-            .collect()
+        (0..self.jobs).map(move |_| {
+            t += self.draw_gap(rng);
+            TraceRecord {
+                submit_s: t,
+                size: self.draw_size(rng),
+                runtime_s: rng.lognormal(mu_rt, self.runtime_sigma).max(1.0),
+            }
+        })
+    }
+
+    /// Generates the full synthetic trace (a `collect()` of
+    /// [`stream`](Self::stream)).
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<TraceRecord> {
+        self.stream(rng).collect()
     }
 }
 
@@ -149,19 +159,34 @@ pub fn trace_to_jobs(
     records
         .iter()
         .enumerate()
-        .map(|(i, r)| {
-            let (a, b) = shape_for_size(r.size, mesh_w, mesh_l);
-            let msgs = ((r.runtime_s / runtime_scale).round() as u32).max(1);
-            JobSpec {
-                id: i as u64,
-                arrive: (r.submit_s * f).round().max(0.0) as Time,
-                a,
-                b,
-                msgs_per_node: msgs,
-                service_demand: msgs as f64 * a as f64 * b as f64,
-            }
-        })
+        .map(|(i, r)| scale_trace_record(r, i as u64, mesh_w, mesh_l, f, runtime_scale))
         .collect()
+}
+
+/// Scales one trace record into the simulator job [`trace_to_jobs`]
+/// would emit at stream index `i`.
+///
+/// The per-record arithmetic lives here so the batch converter and the
+/// streaming [`crate::trace::ScaledJobs`] cursor are bit-identical by
+/// construction.
+pub fn scale_trace_record(
+    r: &TraceRecord,
+    i: u64,
+    mesh_w: u16,
+    mesh_l: u16,
+    f: f64,
+    runtime_scale: f64,
+) -> JobSpec {
+    let (a, b) = shape_for_size(r.size, mesh_w, mesh_l);
+    let msgs = ((r.runtime_s / runtime_scale).round() as u32).max(1);
+    JobSpec {
+        id: i,
+        arrive: (r.submit_s * f).round().max(0.0) as Time,
+        a,
+        b,
+        msgs_per_node: msgs,
+        service_demand: msgs as f64 * a as f64 * b as f64,
+    }
 }
 
 /// The system load corresponding to a scaling factor `f` for a trace with
@@ -278,5 +303,17 @@ mod tests {
         let a = m.generate(&mut SimRng::new(5));
         let b = m.generate(&mut SimRng::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_matches_generate() {
+        let m = ParagonModel {
+            jobs: 500,
+            ..Default::default()
+        };
+        let batch = m.generate(&mut SimRng::new(11));
+        let mut rng = SimRng::new(11);
+        let streamed: Vec<_> = m.stream(&mut rng).collect();
+        assert_eq!(streamed, batch);
     }
 }

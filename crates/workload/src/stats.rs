@@ -69,6 +69,122 @@ pub fn summarize(records: &[TraceRecord]) -> Option<TraceSummary> {
     })
 }
 
+/// Online (single-pass, O(1)-memory) summary builder for streamed traces.
+///
+/// Push records in submit order, then [`finish`](Self::finish). Every
+/// statistic matches [`summarize`] up to floating-point associativity
+/// except the runtime median, which is estimated from a fixed
+/// 64-bucket log₂ histogram (reported as the geometric midpoint of the
+/// bucket holding the median — within a factor of √2 of the exact
+/// value, documented in `docs/WORKLOADS.md`). Means use Welford-style
+/// running updates, so a million-job stream summarizes without being
+/// retained.
+#[derive(Debug, Clone)]
+pub struct StreamingSummary {
+    jobs: usize,
+    prev_submit: f64,
+    gap_mean: f64,
+    gap_m2: f64,
+    size_sum: f64,
+    max_size: u32,
+    pow2: usize,
+    runtime_sum: f64,
+    runtime_buckets: [u64; 64],
+}
+
+impl StreamingSummary {
+    /// An empty builder.
+    pub fn new() -> Self {
+        StreamingSummary {
+            jobs: 0,
+            prev_submit: 0.0,
+            gap_mean: 0.0,
+            gap_m2: 0.0,
+            size_sum: 0.0,
+            max_size: 0,
+            pow2: 0,
+            runtime_sum: 0.0,
+            runtime_buckets: [0u64; 64],
+        }
+    }
+
+    /// Folds one record in (records must arrive in submit order, as they
+    /// do from a validated trace stream).
+    pub fn push(&mut self, r: &TraceRecord) {
+        if self.jobs > 0 {
+            // Welford update over inter-arrival gaps
+            let gap = (r.submit_s - self.prev_submit).max(0.0);
+            let k = self.jobs as f64; // gap count after this one
+            let delta = gap - self.gap_mean;
+            self.gap_mean += delta / k;
+            self.gap_m2 += delta * (gap - self.gap_mean);
+        }
+        self.prev_submit = r.submit_s;
+        self.jobs += 1;
+        self.size_sum += r.size as f64;
+        self.max_size = self.max_size.max(r.size);
+        if r.size.is_power_of_two() {
+            self.pow2 += 1;
+        }
+        self.runtime_sum += r.runtime_s;
+        let bucket = (r.runtime_s.max(1.0).log2() as usize).min(63);
+        self.runtime_buckets[bucket] += 1;
+    }
+
+    /// The summary, or `None` for fewer than two records (no gaps).
+    pub fn finish(&self) -> Option<TraceSummary> {
+        if self.jobs < 2 {
+            return None;
+        }
+        let n = self.jobs as f64;
+        let gaps = (self.jobs - 1) as f64;
+        let gap_var = self.gap_m2 / gaps; // population variance, as summarize()
+        let cv = if self.gap_mean > 0.0 {
+            gap_var.sqrt() / self.gap_mean
+        } else {
+            0.0
+        };
+        // median estimate: the bucket containing the (n/2)-th runtime,
+        // reported at its geometric midpoint 2^(b + 0.5)
+        let target = self.jobs / 2;
+        let mut seen = 0u64;
+        let mut median = 1.0f64;
+        for (b, &count) in self.runtime_buckets.iter().enumerate() {
+            seen += count;
+            if seen > target as u64 {
+                median = 2f64.powf(b as f64 + 0.5);
+                break;
+            }
+        }
+        Some(TraceSummary {
+            jobs: self.jobs,
+            mean_interarrival_s: self.gap_mean,
+            interarrival_cv: cv,
+            mean_size: self.size_sum / n,
+            max_size: self.max_size,
+            pow2_fraction: self.pow2 as f64 / n,
+            mean_runtime_s: self.runtime_sum / n,
+            median_runtime_s: median,
+        })
+    }
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summarizes a record stream in one pass with O(1) memory (see
+/// [`StreamingSummary`] for the median caveat).
+pub fn summarize_stream(records: impl IntoIterator<Item = TraceRecord>) -> Option<TraceSummary> {
+    let mut s = StreamingSummary::new();
+    for r in records {
+        s.push(&r);
+    }
+    s.finish()
+}
+
 impl core::fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         writeln!(f, "jobs:                {}", self.jobs)?;
@@ -129,6 +245,42 @@ mod tests {
         assert!(p.interarrival_cv > 1.3, "Paragon bursty");
         assert!(c.interarrival_cv < 1.2, "CM-5 model Poissonian");
         assert!(c.mean_size > p.mean_size, "CM-5 partitions larger");
+    }
+
+    #[test]
+    fn streaming_summary_matches_batch() {
+        let recs = ParagonModel { jobs: 2_000, ..Default::default() }
+            .generate(&mut SimRng::new(7));
+        let batch = summarize(&recs).unwrap();
+        let stream = summarize_stream(recs.iter().copied()).unwrap();
+        assert_eq!(stream.jobs, batch.jobs);
+        assert_eq!(stream.max_size, batch.max_size);
+        assert!((stream.pow2_fraction - batch.pow2_fraction).abs() < 1e-12);
+        // Welford vs two-pass: equal up to float associativity
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+        assert!(close(stream.mean_interarrival_s, batch.mean_interarrival_s));
+        assert!(close(stream.interarrival_cv, batch.interarrival_cv));
+        assert!(close(stream.mean_size, batch.mean_size));
+        assert!(close(stream.mean_runtime_s, batch.mean_runtime_s));
+        // histogram median: within the documented factor-sqrt(2) band
+        let ratio = stream.median_runtime_s / batch.median_runtime_s;
+        assert!(
+            (ratio - 1.0).abs() < 0.5,
+            "median estimate {} vs exact {}",
+            stream.median_runtime_s,
+            batch.median_runtime_s
+        );
+    }
+
+    #[test]
+    fn streaming_summary_too_short() {
+        assert!(summarize_stream(std::iter::empty()).is_none());
+        assert!(summarize_stream(std::iter::once(TraceRecord {
+            submit_s: 0.0,
+            size: 1,
+            runtime_s: 1.0
+        }))
+        .is_none());
     }
 
     #[test]

@@ -7,8 +7,22 @@
 //! requested processors (8) as a fallback — and ignore the rest, so any
 //! archive trace loads unchanged. The field subset and the load-scaling
 //! math built on top of it are documented in `docs/WORKLOADS.md`.
+//!
+//! Two parsers share one grammar:
+//!
+//! * [`SwfRecords`] — the **streaming** parser: an iterator over any
+//!   [`BufRead`] source yielding one [`TraceRecord`] at a time in O(1)
+//!   memory, so a million-job archive log replays without ever being
+//!   materialized. [`parse_swf`] is a thin `collect()` over it.
+//! * [`parse_swf_retained`] — the original whole-text batch parser, kept
+//!   verbatim as the **equivalence oracle**: the differential battery in
+//!   `crates/workload/tests/streaming_equivalence.rs` proves the two
+//!   produce identical record sequences and identical [`SwfError`]s on
+//!   every fixture and on adversarial (truncated, malformed-mid-stream)
+//!   inputs.
 
 use crate::TraceRecord;
+use std::io::BufRead;
 
 /// Archive names of the SWF fields this parser touches, indexed by
 /// 0-based field position (used in error messages).
@@ -46,6 +60,13 @@ pub enum SwfErrorKind {
         /// The offending token, verbatim.
         value: String,
     },
+    /// The underlying reader failed, or the bytes are not UTF-8 (only
+    /// possible on the streaming [`SwfRecords`] path — [`parse_swf`]
+    /// takes `&str` and cannot produce this).
+    Io {
+        /// The I/O or encoding error, rendered.
+        message: String,
+    },
 }
 
 /// Error from [`parse_swf`]: the offending line and what was wrong with
@@ -73,18 +94,189 @@ impl core::fmt::Display for SwfError {
                 "SWF line {}: field {} ({}): invalid number {:?}",
                 self.line, field, name, value
             ),
+            SwfErrorKind::Io { message } => {
+                write!(f, "SWF line {}: read failed: {}", self.line, message)
+            }
         }
     }
 }
 
 impl std::error::Error for SwfError {}
 
+/// Parses one SWF line (already split from the input, 1-based `lineno`).
+///
+/// Returns `Ok(None)` for comment/blank lines and for skipped jobs
+/// (unknown size or runtime). Shared by the streaming [`SwfRecords`]
+/// iterator; the retained oracle [`parse_swf_retained`] keeps its own
+/// inline copy of this grammar so the differential battery compares two
+/// independent implementations.
+fn parse_swf_line(raw: &str, lineno: usize) -> Result<Option<TraceRecord>, SwfError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with(';') {
+        return Ok(None);
+    }
+    // collect the first 8 fields without a per-line Vec; `n` stops
+    // counting at 8 because only the total-below-8 count is reported
+    let mut fields: [&str; 8] = [""; 8];
+    let mut n = 0usize;
+    for tok in line.split_whitespace() {
+        fields[n] = tok;
+        n += 1;
+        if n == 8 {
+            break;
+        }
+    }
+    if n < 8 {
+        return Err(SwfError {
+            line: lineno,
+            kind: SwfErrorKind::TooFewFields { got: n },
+        });
+    }
+    let parse = |i: usize| -> Result<f64, SwfError> {
+        // f64::parse accepts "inf"/"nan", which would silently corrupt
+        // the span/work statistics downstream — treat them as malformed
+        fields[i]
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| SwfError {
+                line: lineno,
+                kind: SwfErrorKind::BadField {
+                    field: i + 1,
+                    name: field_name(i),
+                    value: fields[i].to_string(),
+                },
+            })
+    };
+    let submit = parse(1)?;
+    let runtime = parse(3)?;
+    let mut size = parse(4)?;
+    if size <= 0.0 {
+        size = parse(7)?; // requested processors
+    }
+    if size <= 0.0 || size > u32::MAX as f64 || runtime < 0.0 {
+        return Ok(None); // unknown/failed job, or a size no real machine has
+    }
+    Ok(Some(TraceRecord {
+        submit_s: submit,
+        // procsim-lint: allow(D005): the guard above bounds size to (0, u32::MAX]
+        size: size as u32,
+        runtime_s: runtime.max(1.0),
+    }))
+}
+
+/// Incremental SWF parser over any [`BufRead`] source.
+///
+/// Yields one `Result<TraceRecord, SwfError>` per job line, reading a
+/// line at a time into a reused buffer — memory use is O(longest line),
+/// independent of trace length, so million-job archive logs stream
+/// without being materialized. Line numbering, comment/blank skipping,
+/// unknown-job filtering, and every error (line, field, token) are
+/// identical to the batch parser: the differential battery in
+/// `crates/workload/tests/streaming_equivalence.rs` pins this down
+/// against [`parse_swf_retained`] on fixtures and adversarial inputs.
+///
+/// After yielding the first `Err`, the iterator is fused: every
+/// subsequent `next()` returns `None` (a malformed line poisons the rest
+/// of the stream, exactly as the batch parser stops at the first error).
+#[derive(Debug)]
+pub struct SwfRecords<R> {
+    reader: R,
+    buf: Vec<u8>,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: BufRead> SwfRecords<R> {
+    /// Wraps a buffered reader positioned at the start of SWF text.
+    pub fn new(reader: R) -> Self {
+        SwfRecords {
+            reader,
+            buf: Vec::with_capacity(256),
+            lineno: 0,
+            done: false,
+        }
+    }
+
+    /// 1-based number of the last line read (0 before the first read).
+    /// Counts comment and blank lines, matching [`SwfError::line`].
+    pub fn line(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: BufRead> Iterator for SwfRecords<R> {
+    type Item = Result<TraceRecord, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            self.lineno += 1;
+            match self.reader.read_until(b'\n', &mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SwfError {
+                        line: self.lineno,
+                        kind: SwfErrorKind::Io {
+                            message: e.to_string(),
+                        },
+                    }));
+                }
+            }
+            // `str::lines` semantics: the terminator (and a preceding
+            // `\r`, which `trim` would drop anyway) is not part of the
+            // line content
+            let Ok(line) = core::str::from_utf8(&self.buf) else {
+                self.done = true;
+                return Some(Err(SwfError {
+                    line: self.lineno,
+                    kind: SwfErrorKind::Io {
+                        message: "invalid UTF-8".into(),
+                    },
+                }));
+            };
+            match parse_swf_line(line, self.lineno) {
+                Ok(None) => continue,
+                Ok(Some(rec)) => return Some(Ok(rec)),
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
 /// Parses SWF text into trace records.
 ///
 /// Jobs with unknown (negative) size or runtime and zero-size jobs are
 /// skipped, as is conventional when replaying archive traces. Returns an
 /// [`SwfError`] locating the first malformed non-comment line.
+///
+/// This is a `collect()` over the streaming [`SwfRecords`] parser; use
+/// [`SwfRecords`] directly (or [`crate::TraceWorkload::open`]) when the
+/// trace is too large to hold in memory.
 pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, SwfError> {
+    SwfRecords::new(text.as_bytes()).collect()
+}
+
+/// The original whole-text batch parser, retained verbatim as the
+/// equivalence oracle for the streaming [`SwfRecords`] parser.
+///
+/// Deliberately shares **no code** with the streaming path (it has its
+/// own inline copy of the per-line grammar), so the differential battery
+/// in `crates/workload/tests/streaming_equivalence.rs` compares two
+/// independent implementations. Not for production use — it materializes
+/// every record; call [`parse_swf`] instead.
+pub fn parse_swf_retained(text: &str) -> Result<Vec<TraceRecord>, SwfError> {
     let mut out = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -133,26 +325,44 @@ pub fn parse_swf(text: &str) -> Result<Vec<TraceRecord>, SwfError> {
     Ok(out)
 }
 
+/// Streams records as minimal SWF (unknown fields written as -1) to any
+/// writer, without materializing the record list or the output text.
+///
+/// Returns the number of records written. Output bytes are identical to
+/// [`write_swf`] for the same record sequence; combined with a lazy
+/// model generator (e.g. [`crate::ParagonModel::stream`]) this writes a
+/// million-job fixture in O(1) memory.
+pub fn write_swf_to<W: std::io::Write>(
+    out: &mut W,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> std::io::Result<usize> {
+    out.write_all(b"; synthetic trace written by procsim workload crate\n")?;
+    out.write_all(b"; fields: id submit wait run procs cpu mem req_procs req_time req_mem status uid gid app queue part prev think\n")?;
+    let mut n = 0usize;
+    for r in records {
+        n += 1;
+        writeln!(
+            out,
+            "{} {:.0} -1 {:.0} {} -1 -1 {} -1 -1 1 -1 -1 -1 -1 -1 -1 -1",
+            n, r.submit_s, r.runtime_s, r.size, r.size,
+        )?;
+    }
+    Ok(n)
+}
+
 /// Serializes records as minimal SWF (unknown fields written as -1).
 ///
 /// Times are written as whole seconds, so a [`parse_swf`] round-trip is
 /// exact for integral-second records (the property test
-/// `crates/workload/tests/swf_roundtrip.rs` pins this down).
+/// `crates/workload/tests/swf_roundtrip.rs` pins this down). Delegates
+/// to [`write_swf_to`], which streams to a writer instead of returning a
+/// `String`.
 pub fn write_swf(records: &[TraceRecord]) -> String {
-    let mut s = String::with_capacity(records.len() * 64);
-    s.push_str("; synthetic trace written by procsim workload crate\n");
-    s.push_str("; fields: id submit wait run procs cpu mem req_procs req_time req_mem status uid gid app queue part prev think\n");
-    for (i, r) in records.iter().enumerate() {
-        s.push_str(&format!(
-            "{} {:.0} -1 {:.0} {} -1 -1 {} -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n",
-            i + 1,
-            r.submit_s,
-            r.runtime_s,
-            r.size,
-            r.size,
-        ));
-    }
-    s
+    let mut buf = Vec::with_capacity(records.len() * 64);
+    // procsim-lint: allow(D004): writing to a Vec<u8> cannot fail
+    write_swf_to(&mut buf, records.iter().copied()).expect("Vec write is infallible");
+    // procsim-lint: allow(D004): the writer emits only ASCII
+    String::from_utf8(buf).expect("SWF writer emits ASCII")
 }
 
 #[cfg(test)]
@@ -292,5 +502,67 @@ mod tests {
     fn empty_and_comment_only_ok() {
         assert!(parse_swf("").unwrap().is_empty());
         assert!(parse_swf("; nothing\n\n;more\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_iterator_fuses_after_error() {
+        let text = "1 0 5 100 32 -1 -1 32\n1 2 3\n2 50 0 200 16 -1 -1 16\n";
+        let mut it = SwfRecords::new(text.as_bytes());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        // poisoned: the valid line after the error is not yielded
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn streaming_handles_missing_final_newline_and_crlf() {
+        // no trailing newline on the last line
+        let a: Vec<_> = SwfRecords::new("1 0 5 100 32 -1 -1 32".as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(a.len(), 1);
+        // CRLF line endings parse identically to LF
+        let lf = "; h\n1 0 5 100 32 -1 -1 32\n2 50 0 200 16 -1 -1 16\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let from_lf: Vec<_> = SwfRecords::new(lf.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let from_crlf: Vec<_> = SwfRecords::new(crlf.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(from_lf, from_crlf);
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_utf8() {
+        let mut bytes = b"; header\n1 0 5 100 32 -1 -1 32\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        let mut it = SwfRecords::new(bytes.as_slice());
+        assert!(it.next().unwrap().is_ok());
+        let err = it.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, SwfErrorKind::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn write_swf_to_matches_write_swf() {
+        let recs = vec![
+            TraceRecord {
+                submit_s: 0.0,
+                size: 35,
+                runtime_s: 120.0,
+            },
+            TraceRecord {
+                submit_s: 700.0,
+                size: 1,
+                runtime_s: 1.0,
+            },
+        ];
+        let mut buf = Vec::new();
+        let n = write_swf_to(&mut buf, recs.iter().copied()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(String::from_utf8(buf).unwrap(), write_swf(&recs));
     }
 }

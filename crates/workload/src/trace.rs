@@ -1,11 +1,13 @@
 //! Trace-driven job source: replay an archive trace at a controllable
 //! offered load.
 //!
-//! [`TraceWorkload`] wraps a parsed trace ([`TraceRecord`]s, e.g. from
-//! [`crate::swf::parse_swf`]) together with the two statistics that the
-//! load-scaling math needs — the mean inter-arrival time and the mean
-//! *work* per job (processor-seconds) — and converts a target **offered
-//! load** into the paper's arrival-scaling factor `f`:
+//! [`TraceWorkload`] wraps a trace — either retained records (e.g. from
+//! [`crate::swf::parse_swf`]) or a **file-backed streaming source**
+//! ([`TraceWorkload::open`]) that is never materialized — together with
+//! the two statistics that the load-scaling math needs: the mean
+//! inter-arrival time and the mean *work* per job (processor-seconds).
+//! It converts a target **offered load** into the paper's
+//! arrival-scaling factor `f`:
 //!
 //! A trace's native offered load on a `P`-processor machine is
 //!
@@ -28,15 +30,32 @@
 //! `lambda = rho* x P / E[work]` fed to [`factor_for_load`]. The full
 //! derivation, worked against the checked-in sample trace, is in
 //! `docs/WORKLOADS.md`.
+//!
+//! ## Streaming pipeline
+//!
+//! Replay is an iterator chain with memory bounded by the number of
+//! *live* jobs, not the trace length:
+//!
+//! ```text
+//! File ──SwfRecords──▶ TraceRecord ──ScaledJobs──▶ JobSpec ──▶ EventQueue
+//!        (one line            (offered-load factor       (one in-flight
+//!         at a time)           applied on the fly)         arrival)
+//! ```
+//!
+//! [`TraceWorkload::open`] makes one validating pass (computing the
+//! scaling statistics online, retaining nothing); replay then re-reads
+//! the file through [`ScaledJobs`], which applies the scaling factor per
+//! record. The scaling arithmetic is shared with the batch converter
+//! [`trace_to_jobs`] ([`crate::paragon::scale_trace_record`]), so the
+//! lazy and materialized paths are bit-identical by construction — and
+//! the golden CSVs plus `crates/workload/tests/streaming_equivalence.rs`
+//! pin it down empirically. See docs/WORKLOADS.md § Streaming pipeline.
 
-use crate::swf::SwfError;
+use crate::swf::{SwfError, SwfRecords};
 use crate::{factor_for_load, trace_to_jobs, JobSpec, TraceRecord};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
-
-/// Cache key for one scaled conversion: mesh dims plus the bit patterns
-/// of (rho, runtime_scale).
-type ScaleKey = (u16, u16, u64, u64);
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Error constructing a [`TraceWorkload`].
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +68,13 @@ pub enum TraceError {
     /// Every job in the trace carries the same submit time, so the
     /// arrival span is zero and load scaling is undefined.
     ZeroSpan,
+    /// The trace file could not be opened or read.
+    Io {
+        /// The offending path, rendered.
+        path: String,
+        /// The I/O error, rendered.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for TraceError {
@@ -60,6 +86,9 @@ impl core::fmt::Display for TraceError {
             }
             TraceError::ZeroSpan => {
                 write!(f, "all jobs share one submit time; cannot scale arrivals")
+            }
+            TraceError::Io { path, message } => {
+                write!(f, "{path}: {message}")
             }
         }
     }
@@ -73,42 +102,67 @@ impl From<SwfError> for TraceError {
     }
 }
 
-/// A trace ready for replay at a controllable offered load.
-///
-/// Construct from records ([`TraceWorkload::new`]) or straight from SWF
-/// text ([`TraceWorkload::from_swf`]); then either ask for the scaling
-/// factor ([`TraceWorkload::factor_for_offered_load`]) or for finished
-/// simulator jobs ([`TraceWorkload::jobs_at_load`]).
-#[derive(Debug)]
-pub struct TraceWorkload {
-    records: Vec<TraceRecord>,
-    mean_interarrival_s: f64,
-    mean_work: f64,
-    /// Memo of [`TraceWorkload::jobs_at_load_shared`] conversions: the
-    /// scaled stream is a pure function of (trace, mesh, rho, scale), so
-    /// the replications of a point — and all strategies replaying the
-    /// same trace at the same load — share one `Arc`'d stream instead of
-    /// re-deriving it per `Simulator`. Accessed only by key (entry),
-    /// never iterated, so the RandomState hash order cannot leak into
-    /// results (D001-audited).
-    scaled: Mutex<HashMap<ScaleKey, Arc<Vec<JobSpec>>>>,
+/// Where the records come from.
+#[derive(Debug, Clone)]
+enum TraceSource {
+    /// Retained, submit-sorted records ([`TraceWorkload::new`] /
+    /// [`TraceWorkload::from_swf`]).
+    Memory(Arc<Vec<TraceRecord>>),
+    /// A validated SWF file re-read on demand ([`TraceWorkload::open`]):
+    /// O(1) memory regardless of trace length.
+    File(Arc<PathBuf>),
 }
 
-impl Clone for TraceWorkload {
-    fn clone(&self) -> Self {
-        TraceWorkload {
-            records: self.records.clone(),
-            mean_interarrival_s: self.mean_interarrival_s,
-            mean_work: self.mean_work,
-            scaled: Mutex::new(HashMap::new()),
+/// A trace ready for replay at a controllable offered load.
+///
+/// Construct from records ([`TraceWorkload::new`]), from SWF text
+/// ([`TraceWorkload::from_swf`]), or — for traces too large to retain —
+/// straight from an SWF file ([`TraceWorkload::open`]), which streams.
+/// Then either ask for the scaling factor
+/// ([`TraceWorkload::factor_for_offered_load`]), for a lazy scaled job
+/// stream ([`TraceWorkload::stream_jobs`]), or for a materialized batch
+/// ([`TraceWorkload::jobs_at_load`], the equivalence oracle for the
+/// streaming path).
+///
+/// Cloning is cheap (the source is behind an `Arc`), and concurrent
+/// replications sharing one workload share the source without any
+/// per-(mesh, load) caching — each replication's [`ScaledJobs`] cursor
+/// scales records on the fly, so nothing is ever double-materialized.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    source: TraceSource,
+    len: usize,
+    mean_interarrival_s: f64,
+    mean_work: f64,
+}
+
+/// Equality is over the record stream itself.
+impl PartialEq for TraceWorkload {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.source, &other.source) {
+            (TraceSource::Memory(a), TraceSource::Memory(b)) => a == b,
+            _ => self.len == other.len && self.iter_records().eq(other.iter_records()),
         }
     }
 }
 
-/// Equality is over the trace itself; the conversion memo is invisible.
-impl PartialEq for TraceWorkload {
-    fn eq(&self, other: &Self) -> bool {
-        self.records == other.records
+/// Opens a validated SWF file as a streaming record parser.
+fn open_records(path: &Path) -> Result<SwfRecords<BufReader<std::fs::File>>, TraceError> {
+    let file = std::fs::File::open(path).map_err(|e| TraceError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(SwfRecords::new(BufReader::new(file)))
+}
+
+/// Reopens a previously validated trace file mid-replay. The file was
+/// fully parsed once by [`TraceWorkload::open`], so failure here means
+/// it was moved or rewritten while the simulation ran — there is no
+/// sensible recovery, and silently continuing would corrupt results.
+fn reopen_validated(path: &Path) -> SwfRecords<BufReader<std::fs::File>> {
+    match open_records(path) {
+        Ok(p) => p,
+        Err(e) => panic!("trace file {} changed mid-run: {e}", path.display()),
     }
 }
 
@@ -139,33 +193,135 @@ impl TraceWorkload {
             .sum::<f64>()
             / n;
         Ok(TraceWorkload {
-            records,
+            len: records.len(),
+            source: TraceSource::Memory(Arc::new(records)),
             mean_interarrival_s,
             mean_work,
-            scaled: Mutex::new(HashMap::new()),
         })
     }
 
-    /// Parses SWF text and wraps the result.
+    /// Parses SWF text and wraps the result (retained in memory).
     pub fn from_swf(text: &str) -> Result<Self, TraceError> {
         let records = crate::swf::parse_swf(text)?;
         TraceWorkload::new(records)
     }
 
-    /// The wrapped records, sorted by submit time.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// Opens an SWF file as a **streaming** workload: one validating
+    /// pass computes the job count and scaling statistics online (O(1)
+    /// memory), and replay re-reads the file on demand — the records are
+    /// never materialized, so million-job archive logs replay in bounded
+    /// memory.
+    ///
+    /// The streaming path requires submit-sorted records (the SWF
+    /// convention). If the validation pass finds out-of-order submits it
+    /// falls back to the retained path ([`TraceWorkload::from_swf`]) —
+    /// correctness over footprint for that rare shape of input.
+    ///
+    /// For a sorted file, every statistic (and hence every scaling
+    /// factor and every simulator result) is bit-identical to
+    /// `from_swf(&read_to_string(path))`: the sums accumulate in the
+    /// same record order.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        let mut n = 0usize;
+        let mut first = 0.0f64;
+        let mut last = 0.0f64;
+        let mut work_sum = 0.0f64;
+        let mut sorted = true;
+        for rec in open_records(path)? {
+            let r = rec?;
+            if n == 0 {
+                first = r.submit_s;
+            } else if r.submit_s < last {
+                sorted = false;
+            }
+            last = r.submit_s;
+            work_sum += r.size as f64 * r.runtime_s;
+            n += 1;
+        }
+        if !sorted {
+            let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            return TraceWorkload::from_swf(&text);
+        }
+        if n < 2 {
+            return Err(TraceError::TooShort(n));
+        }
+        let span = (last - first).max(0.0);
+        let mean_interarrival_s = span / (n as f64 - 1.0);
+        if mean_interarrival_s <= 0.0 {
+            return Err(TraceError::ZeroSpan);
+        }
+        Ok(TraceWorkload {
+            source: TraceSource::File(Arc::new(path.to_path_buf())),
+            len: n,
+            mean_interarrival_s,
+            mean_work: work_sum / n as f64,
+        })
+    }
+
+    /// `true` when replay streams from a file instead of retained
+    /// records (i.e. the workload was built by [`TraceWorkload::open`]
+    /// on a sorted file).
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.source, TraceSource::File(_))
+    }
+
+    /// The retained records when this workload is memory-backed
+    /// ([`TraceWorkload::new`] / [`TraceWorkload::from_swf`]); `None`
+    /// for file-backed streaming workloads — use
+    /// [`TraceWorkload::iter_records`] instead, which works for both.
+    pub fn records(&self) -> Option<&[TraceRecord]> {
+        match &self.source {
+            TraceSource::Memory(recs) => Some(recs),
+            TraceSource::File(_) => None,
+        }
+    }
+
+    /// Streams the records in submit order, one at a time (O(1) memory
+    /// for file-backed workloads).
+    ///
+    /// # Panics
+    ///
+    /// A file-backed iterator panics if the file fails to re-parse: the
+    /// file was validated by [`TraceWorkload::open`], so that only
+    /// happens if it was modified mid-run.
+    pub fn iter_records(&self) -> RecordIter<'_> {
+        let inner = match &self.source {
+            TraceSource::Memory(recs) => RecordIterInner::Memory { recs, pos: 0 },
+            TraceSource::File(path) => RecordIterInner::File {
+                parser: reopen_validated(path),
+                path,
+                yielded: 0,
+                expect: self.len,
+            },
+        };
+        RecordIter { inner }
+    }
+
+    /// Summary statistics: exact for memory-backed workloads, computed
+    /// online in one streaming pass for file-backed ones (the runtime
+    /// median is then a log₂-histogram estimate — see
+    /// [`crate::stats::StreamingSummary`]). `None` for traces with
+    /// fewer than two jobs, which construction already rules out.
+    pub fn summary(&self) -> Option<crate::stats::TraceSummary> {
+        match &self.source {
+            TraceSource::Memory(recs) => crate::stats::summarize(recs),
+            TraceSource::File(_) => crate::stats::summarize_stream(self.iter_records()),
+        }
     }
 
     /// Number of usable jobs (always >= 2).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.len
     }
 
     /// Always `false` (construction requires >= 2 jobs); present because
     /// clippy expects it next to [`TraceWorkload::len`].
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len == 0
     }
 
     /// Mean inter-arrival time in seconds, measured over the trace span.
@@ -207,6 +363,12 @@ impl TraceWorkload {
     /// `mesh_w x mesh_l` mesh, mapping runtimes to per-processor message
     /// counts via `runtime_scale` (seconds per message) as in
     /// [`trace_to_jobs`].
+    ///
+    /// This **materializes** the whole scaled stream — it is the batch
+    /// oracle the streaming [`TraceWorkload::stream_jobs`] cursor is
+    /// tested against, and stays useful for small pre-scaled fixtures
+    /// (the simulator's `FixedTrace` runs). Production replay uses
+    /// [`TraceWorkload::stream_jobs`].
     pub fn jobs_at_load(
         &self,
         mesh_w: u16,
@@ -216,7 +378,58 @@ impl TraceWorkload {
     ) -> Vec<JobSpec> {
         let machine = mesh_w as u32 * mesh_l as u32;
         let f = self.factor_for_offered_load(machine, rho);
-        trace_to_jobs(&self.records, mesh_w, mesh_l, f, runtime_scale)
+        match &self.source {
+            TraceSource::Memory(recs) => trace_to_jobs(recs, mesh_w, mesh_l, f, runtime_scale),
+            TraceSource::File(_) => {
+                let recs: Vec<TraceRecord> = self.iter_records().collect();
+                trace_to_jobs(&recs, mesh_w, mesh_l, f, runtime_scale)
+            }
+        }
+    }
+
+    /// A lazy, endlessly wrapping stream of scaled simulator jobs
+    /// starting at record index `start` — the streaming replacement for
+    /// materializing [`TraceWorkload::jobs_at_load`] and indexing into
+    /// it.
+    ///
+    /// Job `id`s are the record indexes (`start`, `start+1`, …,
+    /// `len-1`, `0`, `1`, …), and every `JobSpec` field is bit-identical
+    /// to `jobs_at_load(..)[id]` (the per-record arithmetic is shared:
+    /// [`crate::paragon::scale_trace_record`]). The iterator never ends;
+    /// the simulator's replication budget decides how much of it to
+    /// consume. Memory is O(1) per cursor for file-backed workloads.
+    pub fn stream_jobs(
+        &self,
+        mesh_w: u16,
+        mesh_l: u16,
+        rho: f64,
+        runtime_scale: f64,
+        start: usize,
+    ) -> ScaledJobs {
+        assert!(start < self.len, "start {start} out of range {}", self.len);
+        let machine = mesh_w as u32 * mesh_l as u32;
+        let f = self.factor_for_offered_load(machine, rho);
+        assert!(f > 0.0 && runtime_scale > 0.0);
+        let source = match &self.source {
+            TraceSource::Memory(recs) => CursorSource::Memory(recs.clone()),
+            TraceSource::File(path) => {
+                let mut parser = reopen_validated(path);
+                skip_validated(&mut parser, start, path);
+                CursorSource::File {
+                    path: path.clone(),
+                    parser,
+                }
+            }
+        };
+        ScaledJobs {
+            source,
+            pos: start,
+            len: self.len,
+            mesh_w,
+            mesh_l,
+            f,
+            runtime_scale,
+        }
     }
 
     /// Caps a per-replication `(warmup, measured)` job budget to one
@@ -233,28 +446,136 @@ impl TraceWorkload {
             (w, self.len() - w)
         }
     }
+}
 
-    /// [`TraceWorkload::jobs_at_load`] behind a memo: repeated calls with
-    /// the same arguments (every replication of a point, every strategy
-    /// sharing the trace) return the same `Arc`'d stream, so an archive
-    /// trace is converted once per (mesh, load, scale), not once per
-    /// simulator.
-    pub fn jobs_at_load_shared(
-        &self,
-        mesh_w: u16,
-        mesh_l: u16,
-        rho: f64,
-        runtime_scale: f64,
-    ) -> Arc<Vec<JobSpec>> {
-        let key = (mesh_w, mesh_l, rho.to_bits(), runtime_scale.to_bits());
-        // the cache holds pure values (scaled copies of an immutable trace),
-        // so a poisoned lock still guards coherent data; recover rather
-        // than cascade a panic from an unrelated thread
-        let mut cache = self.scaled.lock().unwrap_or_else(|p| p.into_inner());
-        cache
-            .entry(key)
-            .or_insert_with(|| Arc::new(self.jobs_at_load(mesh_w, mesh_l, rho, runtime_scale)))
-            .clone()
+/// Skips `n` records of a freshly reopened, previously validated file.
+fn skip_validated(parser: &mut SwfRecords<BufReader<std::fs::File>>, n: usize, path: &Path) {
+    for i in 0..n {
+        match parser.next() {
+            Some(Ok(_)) => {}
+            _ => panic!(
+                "trace file {} changed mid-run: stream ended at record {i} while skipping to {n}",
+                path.display()
+            ),
+        }
+    }
+}
+
+enum RecordIterInner<'a> {
+    Memory {
+        recs: &'a [TraceRecord],
+        pos: usize,
+    },
+    File {
+        parser: SwfRecords<BufReader<std::fs::File>>,
+        path: &'a Path,
+        yielded: usize,
+        expect: usize,
+    },
+}
+
+/// Iterator over a workload's records in submit order (see
+/// [`TraceWorkload::iter_records`]).
+pub struct RecordIter<'a> {
+    inner: RecordIterInner<'a>,
+}
+
+impl Iterator for RecordIter<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        match &mut self.inner {
+            RecordIterInner::Memory { recs, pos } => {
+                let r = recs.get(*pos).copied();
+                *pos += 1;
+                r
+            }
+            RecordIterInner::File {
+                parser,
+                path,
+                yielded,
+                expect,
+            } => match parser.next() {
+                Some(Ok(r)) => {
+                    *yielded += 1;
+                    Some(r)
+                }
+                Some(Err(e)) => panic!("trace file {} changed mid-run: {e}", path.display()),
+                None => {
+                    assert!(
+                        *yielded == *expect,
+                        "trace file {} changed mid-run: {yielded} records, validated {expect}",
+                        path.display()
+                    );
+                    None
+                }
+            },
+        }
+    }
+}
+
+enum CursorSource {
+    Memory(Arc<Vec<TraceRecord>>),
+    File {
+        path: Arc<PathBuf>,
+        parser: SwfRecords<BufReader<std::fs::File>>,
+    },
+}
+
+/// An endless, lazily scaled job stream over a [`TraceWorkload`] — see
+/// [`TraceWorkload::stream_jobs`]. Yields `jobs_at_load(..)[start]`,
+/// `[start+1]`, …, `[len-1]`, `[0]`, … without ever materializing the
+/// scaled vector; file-backed cursors hold only a line buffer.
+pub struct ScaledJobs {
+    source: CursorSource,
+    pos: usize,
+    len: usize,
+    mesh_w: u16,
+    mesh_l: u16,
+    f: f64,
+    runtime_scale: f64,
+}
+
+impl ScaledJobs {
+    /// Number of records in one full pass over the underlying trace.
+    pub fn trace_len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Iterator for ScaledJobs {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        let rec = match &mut self.source {
+            CursorSource::Memory(recs) => recs[self.pos],
+            CursorSource::File { path, parser } => match parser.next() {
+                Some(Ok(r)) => r,
+                Some(Err(e)) => panic!("trace file {} changed mid-run: {e}", path.display()),
+                None => panic!(
+                    "trace file {} changed mid-run: stream ended at record {} of {}",
+                    path.display(),
+                    self.pos,
+                    self.len
+                ),
+            },
+        };
+        let job = crate::paragon::scale_trace_record(
+            &rec,
+            self.pos as u64,
+            self.mesh_w,
+            self.mesh_l,
+            self.f,
+            self.runtime_scale,
+        );
+        self.pos += 1;
+        if self.pos == self.len {
+            self.pos = 0;
+            if let CursorSource::File { path, parser } = &mut self.source {
+                *parser = reopen_validated(path);
+            }
+        }
+        Some(job)
     }
 }
 
@@ -297,6 +618,13 @@ mod tests {
     }
 
     #[test]
+    fn open_missing_file_is_io_error() {
+        let err = TraceWorkload::open("/nonexistent/procsim-no-such-trace.swf").unwrap_err();
+        assert!(matches!(err, TraceError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("no-such-trace"));
+    }
+
+    #[test]
     fn unsorted_records_are_normalized() {
         let mut recs = flat_trace(10, 50.0, 10, 100.0);
         recs.reverse();
@@ -326,11 +654,10 @@ mod tests {
             assert!((load_for_factor(w.mean_interarrival_s(), f) - lambda).abs() < 1e-12);
             // ...and scaling submit times by f realizes the target rho
             let scaled: Vec<TraceRecord> = w
-                .records()
-                .iter()
+                .iter_records()
                 .map(|r| TraceRecord {
                     submit_s: r.submit_s * f,
-                    ..*r
+                    ..r
                 })
                 .collect();
             let rescaled = TraceWorkload::new(scaled).unwrap();
@@ -366,18 +693,38 @@ mod tests {
     }
 
     #[test]
-    fn shared_conversion_is_memoized() {
+    fn stream_jobs_matches_batch_oracle() {
         let w = TraceWorkload::new(flat_trace(40, 80.0, 5, 200.0)).unwrap();
-        let a = w.jobs_at_load_shared(16, 22, 0.7, 360.0);
-        let b = w.jobs_at_load_shared(16, 22, 0.7, 360.0);
-        assert!(Arc::ptr_eq(&a, &b), "same key must share one stream");
-        assert_eq!(*a, w.jobs_at_load(16, 22, 0.7, 360.0));
-        let c = w.jobs_at_load_shared(16, 22, 0.9, 360.0);
-        assert!(!Arc::ptr_eq(&a, &c), "different load, different stream");
-        // clones start with a cold cache but equal content
-        let clone = w.clone();
-        assert_eq!(clone, w);
-        assert_eq!(*clone.jobs_at_load_shared(16, 22, 0.7, 360.0), *a);
+        let batch = w.jobs_at_load(16, 22, 0.7, 360.0);
+        // from the start: one full wrap replays the batch twice
+        let streamed: Vec<JobSpec> = w.stream_jobs(16, 22, 0.7, 360.0, 0).take(80).collect();
+        assert_eq!(&streamed[..40], &batch[..]);
+        assert_eq!(&streamed[40..], &batch[..]);
+        // from an offset: tail first, then wraps to the front
+        let offset: Vec<JobSpec> = w.stream_jobs(16, 22, 0.7, 360.0, 25).take(40).collect();
+        assert_eq!(&offset[..15], &batch[25..]);
+        assert_eq!(&offset[15..], &batch[..25]);
+    }
+
+    #[test]
+    fn concurrent_cursors_share_the_source() {
+        // two replications of the same (trace, mesh, rho) must not
+        // double-materialize: memory cursors borrow the same Arc'd
+        // records, and nothing else is allocated per cursor
+        let w = TraceWorkload::new(flat_trace(40, 80.0, 5, 200.0)).unwrap();
+        let base = match &w.source {
+            TraceSource::Memory(recs) => Arc::strong_count(recs),
+            TraceSource::File(_) => unreachable!(),
+        };
+        let a = w.stream_jobs(16, 22, 0.7, 360.0, 0);
+        let b = w.stream_jobs(16, 22, 0.7, 360.0, 0);
+        match &w.source {
+            TraceSource::Memory(recs) => {
+                assert_eq!(Arc::strong_count(recs), base + 2, "cursors share the Arc")
+            }
+            TraceSource::File(_) => unreachable!(),
+        }
+        assert_eq!(a.take(40).collect::<Vec<_>>(), b.take(40).collect::<Vec<_>>());
     }
 
     #[test]

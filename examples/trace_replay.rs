@@ -10,7 +10,7 @@
 
 use procsim::{
     parse_swf, trace_to_jobs, write_swf, ParagonModel, SchedulerKind, SimConfig, SimRng,
-    Simulator, StrategyKind, TraceRecord, WorkloadSpec,
+    Simulator, StrategyKind, SwfRecords, TraceRecord, WorkloadSpec,
 };
 use std::sync::Arc;
 
@@ -18,8 +18,12 @@ fn main() {
     let arg = std::env::args().nth(1);
     let records: Vec<TraceRecord> = match &arg {
         Some(path) => {
-            let text = std::fs::read_to_string(path).expect("cannot read trace file");
-            parse_swf(&text).expect("malformed SWF")
+            // stream the file through the incremental parser (the
+            // text-in-memory route is `parse_swf`, exercised below)
+            let file = std::fs::File::open(path).expect("cannot read trace file");
+            SwfRecords::new(std::io::BufReader::new(file))
+                .collect::<Result<_, _>>()
+                .expect("malformed SWF")
         }
         None => {
             // synthesize, round-trip through SWF to exercise the parser

@@ -30,9 +30,9 @@
 //! results, only wall-clock time.
 
 use procsim::{
-    derive_seed, run_point, run_points, summarize, trace_to_jobs, Cm5Model, PageIndexing,
-    ParagonModel, PointResult, SchedulerKind, SideDist, SimConfig, SimRng, StrategyKind,
-    TopologyKind, TraceWorkload, WorkloadSpec,
+    derive_seed, run_point, run_points, trace_to_jobs, write_swf_to, Cm5Model, PageIndexing,
+    ParagonModel, PointResult, SchedulerKind, SideDist, SimConfig, SimRng, StopReason,
+    StrategyKind, TopologyKind, TraceWorkload, WorkloadSpec,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -206,17 +206,22 @@ fn strategy_stream(label: &str) -> u64 {
 /// load. Every (strategy) series is one experimental point; all points'
 /// replications run as a single batch on the shared worker pool, so the
 /// CSV is bit-identical at any thread count.
+///
+/// The trace is opened **streaming** ([`TraceWorkload::open`]): one
+/// validating pass computes the scaling statistics, and replay re-reads
+/// the file lazily — memory stays bounded however long the trace is, so
+/// `gen-trace`-produced million-job fixtures replay without swapping.
+/// `--reps 1` runs a single replication per strategy (no confidence
+/// intervals) — the stress-replay mode CI's smoke step uses.
 fn run_trace(a: &Args, reps: usize) {
     let path = a
         .positional
         .first()
         .unwrap_or_else(|| die("trace needs a .swf file path"));
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    let trace = TraceWorkload::from_swf(&text).unwrap_or_else(|e| die(&e.to_string()));
+    let trace = TraceWorkload::open(path).unwrap_or_else(|e| die(&e.to_string()));
     let (mesh_w, mesh_l) = procsim::PAPER_MESH;
     let machine = mesh_w as u32 * mesh_l as u32;
-    match summarize(trace.records()) {
+    match trace.summary() {
         Some(s) => println!("{s}"),
         None => die("trace too short"),
     }
@@ -300,7 +305,24 @@ fn run_trace(a: &Args, reps: usize) {
         })
         .collect();
     // one batch: every strategy's replications share the worker pool
-    let points = run_points(&cfgs, reps.max(2), reps.max(2) * 2);
+    let points: Vec<PointResult> = if reps <= 1 {
+        eprintln!("note: --reps 1 runs one replication per strategy (no confidence intervals)");
+        cfgs.iter()
+            .map(|cfg| {
+                let m = procsim::Simulator::new(cfg, 0).run();
+                PointResult {
+                    label: cfg.series_label(),
+                    load: cfg.workload.load(),
+                    replications: 1,
+                    stop: StopReason::Budget,
+                    means: m.response_vector(),
+                    ci95: [0.0; 6],
+                }
+            })
+            .collect()
+    } else {
+        run_points(&cfgs, reps, reps * 2)
+    };
     for p in &points {
         print_result(p);
     }
@@ -360,7 +382,8 @@ fn write_trace_csv(
 
 /// `procsim gen-trace <out.swf>`: write a synthetic SWF fixture (the
 /// generator behind the checked-in sample; use larger `--jobs` for
-/// stress fixtures).
+/// stress fixtures — the model streams straight to the file, so a
+/// million-job fixture is generated in O(1) memory).
 fn run_gen_trace(a: &Args) {
     let out = a
         .positional
@@ -369,24 +392,36 @@ fn run_gen_trace(a: &Args) {
     let model = a.map.get("model").map(|s| s.as_str()).unwrap_or("paragon");
     let jobs: usize = a.map.get("jobs").map(|s| s.parse().expect("bad --jobs")).unwrap_or(600);
     let seed: u64 = a.map.get("seed").map(|s| s.parse().expect("bad --seed")).unwrap_or(2008);
-    let mut rng = SimRng::new(seed);
-    let records = match model {
-        "paragon" => ParagonModel { jobs, ..Default::default() }.generate(&mut rng),
-        "cm5" => Cm5Model { jobs, ..Default::default() }.generate(&mut rng),
-        other => die(&format!("unknown model '{other}' (paragon or cm5)")),
-    };
-    let mut text = format!(
-        "; procsim synthetic SWF fixture (public domain: generated data, no production-log content)\n\
-         ; regenerate with: procsim gen-trace {out} --model {model} --jobs {jobs} --seed {seed}\n"
-    );
-    text.push_str(&procsim::write_swf(&records));
     if let Some(dir) = std::path::Path::new(out).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir: {e}")));
         }
     }
-    std::fs::write(out, &text).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
-    let trace = TraceWorkload::from_swf(&text).expect("generated trace must parse");
+    let mut rng = SimRng::new(seed);
+    let file =
+        std::fs::File::create(out).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    let mut w = std::io::BufWriter::new(file);
+    let written = (|| -> std::io::Result<usize> {
+        write!(
+            w,
+            "; procsim synthetic SWF fixture (public domain: generated data, no production-log content)\n\
+             ; regenerate with: procsim gen-trace {out} --model {model} --jobs {jobs} --seed {seed}\n"
+        )?;
+        let n = match model {
+            "paragon" => {
+                write_swf_to(&mut w, ParagonModel { jobs, ..Default::default() }.stream(&mut rng))?
+            }
+            "cm5" => write_swf_to(&mut w, Cm5Model { jobs, ..Default::default() }.stream(&mut rng))?,
+            other => die(&format!("unknown model '{other}' (paragon or cm5)")),
+        };
+        w.flush()?;
+        Ok(n)
+    })()
+    .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    assert_eq!(written, jobs);
+    // re-open streaming: validates the file end-to-end and reports the
+    // native load without holding the records
+    let trace = TraceWorkload::open(out).expect("generated trace must parse");
     let (mesh_w, mesh_l) = procsim::PAPER_MESH;
     println!(
         "wrote {out}: {} jobs ({model} model, seed {seed}), native offered load {:.3} on {mesh_w}x{mesh_l}",
@@ -451,7 +486,9 @@ fn main() {
             println!("topologies: mesh torus   (--torus = legacy alias; docs/TOPOLOGIES.md)");
             println!();
             println!("trace --load is the target offered load (fraction of machine capacity");
-            println!("in trace time, e.g. 0.7); see docs/WORKLOADS.md for the scaling math");
+            println!("in trace time, e.g. 0.7); see docs/WORKLOADS.md for the scaling math.");
+            println!("traces replay as a streaming pipeline (bounded memory, any length);");
+            println!("--reps 1 runs one replication per strategy (stress mode, no CIs)");
             println!();
             println!("replications run on a shared worker pool; size it with --threads N");
             println!("or PROCSIM_THREADS=N (results are identical for any thread count)");

@@ -29,16 +29,25 @@ fn run_trace_cli(extra: &[&str], csv_path: &str) -> String {
 #[test]
 fn cli_reproduces_committed_golden_csv() {
     // exactly the CI command: any drift in workload generation, seeding,
-    // scheduling, or CSV formatting shows up as a golden diff here first
-    let dir = std::env::temp_dir();
-    let csv = dir.join("procsim_trace_golden_check.csv");
-    let got = run_trace_cli(&["--jobs", "120", "--reps", "2"], csv.to_str().unwrap());
+    // scheduling, or CSV formatting shows up as a golden diff here first.
+    // Run it at explicit worker-pool sizes 1 and 4: the streaming replay
+    // refactor must be byte-invariant to both the old materialized path
+    // (the golden pins that) and the thread count.
     let want = std::fs::read_to_string(GOLDEN).expect("golden file checked in");
-    assert_eq!(
-        got, want,
-        "CSV from `procsim trace {SAMPLE} --load 0.7` diverged from {GOLDEN}; \
-         if the change is intentional, regenerate the golden (see docs/WORKLOADS.md)"
-    );
+    let dir = std::env::temp_dir();
+    for threads in ["1", "4"] {
+        let csv = dir.join(format!("procsim_trace_golden_check_t{threads}.csv"));
+        let got = run_trace_cli(
+            &["--jobs", "120", "--reps", "2", "--threads", threads],
+            csv.to_str().unwrap(),
+        );
+        assert_eq!(
+            got, want,
+            "CSV from `procsim trace {SAMPLE} --load 0.7 --threads {threads}` diverged \
+             from {GOLDEN}; if the change is intentional, regenerate the golden \
+             (see docs/WORKLOADS.md)"
+        );
+    }
 }
 
 #[test]
@@ -102,11 +111,10 @@ fn checked_in_sample_calibrates_factor_for_load() {
         // ...and actually rescaling the sample's submit times by f
         // realizes the target offered load
         let scaled: Vec<_> = trace
-            .records()
-            .iter()
+            .iter_records()
             .map(|r| procsim::TraceRecord {
                 submit_s: r.submit_s * f,
-                ..*r
+                ..r
             })
             .collect();
         let realized = TraceWorkload::new(scaled).unwrap().offered_load(machine);
