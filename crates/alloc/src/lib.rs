@@ -180,6 +180,42 @@ impl StrategyKind {
     }
 }
 
+impl core::str::FromStr for StrategyKind {
+    type Err = String;
+
+    /// Parses the CLI / scenario-file spelling: `gabl`, `paging0` ..
+    /// `paging3` (row-major), `mbs`, `ff`, `bf`, `random`, `mc`
+    /// (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "gabl" => Ok(StrategyKind::Gabl),
+            "mbs" => Ok(StrategyKind::Mbs),
+            "ff" => Ok(StrategyKind::FirstFit),
+            "bf" => Ok(StrategyKind::BestFit),
+            "random" => Ok(StrategyKind::Random),
+            "mc" => Ok(StrategyKind::Mc),
+            other => {
+                if let Some(idx) = other.strip_prefix("paging") {
+                    if let Ok(size_index) = idx.parse::<u8>() {
+                        if size_index <= 3 {
+                            return Ok(StrategyKind::Paging {
+                                size_index,
+                                indexing: PageIndexing::RowMajor,
+                            });
+                        }
+                    }
+                    return Err(format!(
+                        "unknown paging variant '{other}' (paging0 .. paging3)"
+                    ));
+                }
+                Err(format!(
+                    "unknown strategy '{other}' (gabl, paging0..paging3, mbs, ff, bf, random, mc)"
+                ))
+            }
+        }
+    }
+}
+
 impl core::fmt::Display for StrategyKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match *self {

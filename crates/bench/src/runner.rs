@@ -334,11 +334,24 @@ pub fn run_sweep<T: Copy>(
 /// Shared main() of the per-figure binaries: run, print, save CSV.
 ///
 /// Recognized flags: `--full` (paper-grade fidelity), `--threads N`
-/// (worker-pool size; defaults to `PROCSIM_THREADS` or all cores), and
+/// (worker-pool size; defaults to `PROCSIM_THREADS` or all cores),
 /// `--topology mesh|torus` (the §6 torus re-run of a figure; its CSV is
-/// suffixed `_torus` so the mesh results survive).
+/// suffixed `_torus` so the mesh results survive), and `--golden`
+/// (pinned reduced fidelity; the CSV goes to `results/golden/` — the
+/// regeneration protocol of the checked-in figure goldens the campaign
+/// scenarios under `scenarios/` must byte-match, see `docs/CAMPAIGNS.md`).
 pub fn run_figure_main(id: u8) {
-    let mode = RunMode::from_args();
+    let mut mode = RunMode::from_args();
+    let golden = std::env::args().any(|a| a == "--golden");
+    if golden {
+        // the fidelity of the checked-in golden CSVs: small enough for a
+        // CI step, deterministic because min_reps == max_reps (mirrors
+        // mesh_vs_torus --golden)
+        mode.warmup = 30;
+        mode.measured = 120;
+        mode.min_reps = 2;
+        mode.max_reps = 2;
+    }
     if let Some(n) = mode.threads {
         // size the process-wide pool so every figure of this run (e.g.
         // all_figures) shares it; run_figure falls back to a dedicated
@@ -373,7 +386,12 @@ pub fn run_figure_main(id: u8) {
             crate::plot::ascii_chart(&spec.title(), spec.loads, &series, 64, 18)
         );
     }
-    match data.write_csv(Path::new("results")) {
+    let out_dir = if golden {
+        Path::new("results/golden")
+    } else {
+        Path::new("results")
+    };
+    match data.write_csv(out_dir) {
         Ok(p) => eprintln!("wrote {} ({:.1}s)", p.display(), t0.elapsed().as_secs_f64()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }

@@ -27,13 +27,20 @@
 //! Parallelism is controlled by the CLI `--threads N` flag or the
 //! `PROCSIM_THREADS` environment variable; see [`pool`].
 
+pub mod campaign;
 pub mod config;
 pub mod metrics;
 pub mod pool;
 pub mod replicate;
+pub mod scenario;
 pub mod simulator;
 
+pub use campaign::{
+    cached_count, expand, run_campaign, CampaignError, CampaignOptions, CampaignOutcome,
+    CampaignPoint,
+};
 pub use config::{SimConfig, WorkloadSpec};
+pub use scenario::{PointSettings, Scenario, ScenarioError};
 pub use metrics::RunMetrics;
 pub use pool::WorkerPool;
 pub use replicate::{

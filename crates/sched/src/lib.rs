@@ -141,6 +141,26 @@ impl SchedulerKind {
     }
 }
 
+impl core::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    /// Parses the CLI / scenario-file spelling: `fcfs`, `ssd`, `sjf`,
+    /// `ljf`, `easy` (case-insensitive; window policies are
+    /// programmatic-only).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(SchedulerKind::Fcfs),
+            "ssd" => Ok(SchedulerKind::Ssd),
+            "sjf" => Ok(SchedulerKind::SjfArea),
+            "ljf" => Ok(SchedulerKind::LjfArea),
+            "easy" => Ok(SchedulerKind::EasyBackfill),
+            other => Err(format!(
+                "unknown scheduler '{other}' (fcfs, ssd, sjf, ljf, easy)"
+            )),
+        }
+    }
+}
+
 impl core::fmt::Display for SchedulerKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match *self {

@@ -13,6 +13,8 @@
 //!               [--topology mesh|torus] [--scale 360] [--jobs N] [--reps R]
 //!               [--seed K] [--csv PATH]
 //! procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]
+//! procsim campaign <scenario.toml> [--cache DIR] [--csv PATH] [--force]
+//!               [--dry-run] [--threads N]
 //! ```
 //!
 //! Every simulating subcommand takes `--topology {mesh,torus}` (`--torus`
@@ -30,9 +32,10 @@
 //! results, only wall-clock time.
 
 use procsim::{
-    derive_seed, run_point, run_points, trace_to_jobs, write_swf_to, Cm5Model, PageIndexing,
-    ParagonModel, PointResult, SchedulerKind, SideDist, SimConfig, SimRng, StopReason,
-    StrategyKind, TopologyKind, TraceWorkload, WorkloadSpec,
+    cached_count, derive_seed, expand, run_campaign, run_point, run_points, trace_to_jobs,
+    write_swf_to, CampaignOptions, Cm5Model, ParagonModel, PointResult, Scenario, SchedulerKind,
+    SideDist, SimConfig, SimRng, StopReason, StrategyKind, TopologyKind, TraceWorkload,
+    WorkloadSpec,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -71,34 +74,12 @@ fn parse_args(args: &[String]) -> Args {
 }
 
 fn strategy_of(name: &str) -> StrategyKind {
-    match name {
-        "gabl" => StrategyKind::Gabl,
-        "paging0" => StrategyKind::Paging {
-            size_index: 0,
-            indexing: PageIndexing::RowMajor,
-        },
-        "paging1" => StrategyKind::Paging {
-            size_index: 1,
-            indexing: PageIndexing::RowMajor,
-        },
-        "mbs" => StrategyKind::Mbs,
-        "ff" => StrategyKind::FirstFit,
-        "bf" => StrategyKind::BestFit,
-        "random" => StrategyKind::Random,
-        "mc" => StrategyKind::Mc,
-        other => die(&format!("unknown strategy '{other}'")),
-    }
+    // the scenario format and the CLI share one spelling (FromStr)
+    name.parse().unwrap_or_else(|e: String| die(&e))
 }
 
 fn scheduler_of(name: &str) -> SchedulerKind {
-    match name {
-        "fcfs" => SchedulerKind::Fcfs,
-        "ssd" => SchedulerKind::Ssd,
-        "sjf" => SchedulerKind::SjfArea,
-        "ljf" => SchedulerKind::LjfArea,
-        "easy" => SchedulerKind::EasyBackfill,
-        other => die(&format!("unknown scheduler '{other}'")),
-    }
+    name.parse().unwrap_or_else(|e: String| die(&e))
 }
 
 fn die(msg: &str) -> ! {
@@ -430,6 +411,85 @@ fn run_gen_trace(a: &Args) {
     );
 }
 
+/// `procsim campaign <scenario.toml>`: expand a declarative scenario
+/// into its cross-product of points, serve what the on-disk cache
+/// already has, run the rest on the shared worker pool, and merge
+/// everything into one CSV. Interrupt it freely: a rerun resumes from
+/// the cache and the merged CSV is byte-identical to an uninterrupted
+/// run at any thread count (see `docs/CAMPAIGNS.md`).
+fn run_campaign_cmd(a: &Args) {
+    let path = a
+        .positional
+        .first()
+        .unwrap_or_else(|| die("campaign needs a scenario file path"));
+    let scenario =
+        Scenario::load(std::path::Path::new(path)).unwrap_or_else(|e| die(&e.to_string()));
+    let points = expand(&scenario).unwrap_or_else(|e| die(&e.to_string()));
+    let force = a.flags.iter().any(|f| f == "force");
+    let dry_run = a.flags.iter().any(|f| f == "dry-run");
+    let cache_dir = std::path::PathBuf::from(
+        a.map
+            .get("cache")
+            .cloned()
+            .unwrap_or_else(|| format!("results/campaign_cache/{}", scenario.name)),
+    );
+    let csv_path = a
+        .map
+        .get("csv")
+        .cloned()
+        .or_else(|| scenario.output.csv.clone())
+        .unwrap_or_else(|| format!("results/campaign_{}.csv", scenario.name));
+
+    let cached = if force {
+        0
+    } else {
+        cached_count(&points, &cache_dir)
+    };
+    println!(
+        "campaign '{}': {} points ({} cached, {} to run{})",
+        scenario.name,
+        points.len(),
+        cached,
+        points.len() - cached,
+        if force { ", --force" } else { "" }
+    );
+
+    if dry_run {
+        for p in &points {
+            println!(
+                "  [{:>3}] {}({}) {} load {} seed {:#x} hash {}",
+                p.index,
+                p.settings.strategy,
+                p.settings.scheduler,
+                p.settings.workload.name(),
+                p.settings.load,
+                p.seed,
+                p.hash
+            );
+        }
+        return;
+    }
+
+    let opts = CampaignOptions {
+        threads: None, // the shared pool; sized by --threads / PROCSIM_THREADS
+        cache_dir,
+        force,
+    };
+    let outcome = run_campaign(&scenario, &opts).unwrap_or_else(|e| die(&e.to_string()));
+    if let Some(dir) = std::path::Path::new(&csv_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        }
+    }
+    std::fs::write(&csv_path, &outcome.csv)
+        .unwrap_or_else(|e| die(&format!("cannot write {csv_path}: {e}")));
+    println!(
+        "wrote {csv_path} ({} executed, {} cached)",
+        outcome.executed, outcome.cached
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().map(|s| s.as_str()).unwrap_or("help");
@@ -468,6 +528,7 @@ fn main() {
         }
         "trace" => run_trace(&a, reps),
         "gen-trace" => run_gen_trace(&a),
+        "campaign" => run_campaign_cmd(&a),
         _ => {
             println!("procsim — 2D mesh processor allocation & scheduling simulator");
             println!("(IPDPS 2008 reproduction; see README.md)\n");
@@ -479,6 +540,13 @@ fn main() {
             println!("                [--topology T] [--scale S] [--jobs N] [--reps R] [--seed K]");
             println!("                [--csv PATH]");
             println!("  procsim gen-trace <out.swf> [--model paragon|cm5] [--jobs N] [--seed K]");
+            println!("  procsim campaign <scenario.toml> [--cache DIR] [--csv PATH] [--force]");
+            println!("                [--dry-run] [--threads T]");
+            println!();
+            println!("campaign runs a declarative scenario file (see docs/CAMPAIGNS.md and");
+            println!("scenarios/): the cross-product of its matrix, cached per point on disk,");
+            println!("so interrupted or extended campaigns resume by rerunning only what's");
+            println!("missing — output is byte-identical at any thread count.");
             println!();
             println!("strategies: gabl paging0 paging1 mbs ff bf random mc");
             println!("schedulers: fcfs ssd sjf ljf easy");

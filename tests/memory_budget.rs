@@ -11,8 +11,8 @@
 //! test binary, and the counting allocator is scoped to it).
 
 use procsim::{
-    write_swf_to, ParagonModel, SchedulerKind, SimConfig, SimRng, Simulator, StrategyKind,
-    TraceWorkload, WorkloadSpec,
+    expand, write_swf_to, ParagonModel, Scenario, SchedulerKind, SimConfig, SimRng, Simulator,
+    StrategyKind, TraceWorkload, WorkloadSpec,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::{BufWriter, Write};
@@ -209,4 +209,37 @@ fn streaming_replay_peak_heap_is_bounded_and_length_independent() {
 
     std::fs::remove_file(&short_path).ok();
     std::fs::remove_file(&long_path).ok();
+
+    // --- campaign matrix expansion: 1000 points stay lightweight ---
+    // expand() materializes one CampaignPoint (settings + versioned spec
+    // string + hash) per cross-product element and nothing else — no
+    // simulator state, no per-point caches. 1000 points of ~0.5 KiB
+    // bookkeeping fit comfortably in 2 MiB; an expansion that clones the
+    // scenario per point or pre-builds run state trips this immediately.
+    let mut text = String::from(
+        "[campaign]\nname = \"expansion_budget\"\nseed = 7\n\n[matrix]\n\
+         strategy = [\"gabl\", \"paging0\", \"paging1\", \"paging2\", \"paging3\", \
+         \"mbs\", \"ff\", \"bf\", \"random\", \"mc\"]\n\
+         scheduler = [\"fcfs\", \"ssd\", \"sjf\", \"ljf\", \"easy\"]\n",
+    );
+    text.push_str("load = [");
+    for i in 1..=20u32 {
+        if i > 1 {
+            text.push_str(", ");
+        }
+        text.push_str(&format!("0.{i:04}"));
+    }
+    text.push_str("]\n");
+    let scenario = Scenario::parse(&text).expect("expansion-budget scenario parses");
+    let (peak_expand, n_points) = peak_during(|| {
+        let points = expand(&scenario).expect("expansion-budget scenario expands");
+        points.len()
+    });
+    eprintln!("peak: 1000-point matrix expansion {peak_expand} B");
+    assert_eq!(n_points, 1000, "10 strategies x 5 schedulers x 20 loads");
+    assert!(
+        peak_expand < 2 * MIB,
+        "expanding a 1000-point matrix peaked at {peak_expand} B (> 2 MiB \
+         budget): expansion is carrying more than per-point bookkeeping"
+    );
 }
