@@ -53,6 +53,19 @@ impl AllocationStrategy for FirstFit {
     fn always_succeeds_when_free(&self) -> bool {
         false
     }
+
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's failure condition: a contiguous
+        // placement exists only if one orientation passes the free-space
+        // watermarks (could_fit_rect == false proves no free a×b
+        // sub-mesh exists; == true defers to the search)
+        mesh.could_fit_rect(a, b) || (a != b && mesh.could_fit_rect(b, a))
+    }
+
+    // failure_persists_until_release: allocate is a pure function of the
+    // occupancy (no RNG, no internal state beyond the id counter, which
+    // a failed call never touches), and occupying more processors can
+    // only destroy free placements, never create them.
 }
 
 /// Contiguous best-fit: among all free placements (both orientations),
@@ -177,6 +190,19 @@ impl AllocationStrategy for BestFit {
     fn always_succeeds_when_free(&self) -> bool {
         false
     }
+
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's failure condition: a contiguous
+        // placement exists only if one orientation passes the free-space
+        // watermarks (could_fit_rect == false proves no free a×b
+        // sub-mesh exists; == true defers to the search)
+        mesh.could_fit_rect(a, b) || (a != b && mesh.could_fit_rect(b, a))
+    }
+
+    // failure_persists_until_release: allocate is a pure function of the
+    // occupancy (no RNG, no internal state beyond the id counter, which
+    // a failed call never touches), and occupying more processors can
+    // only destroy free placements, never create them.
 }
 
 #[cfg(test)]

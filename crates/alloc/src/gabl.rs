@@ -170,6 +170,17 @@ impl AllocationStrategy for Gabl {
     fn always_succeeds_when_free(&self) -> bool {
         true
     }
+
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's only failure condition (the greedy
+        // partitioning succeeds whenever enough processors are free)
+        let p = a as u32 * b as u32;
+        p != 0 && p <= mesh.free_count()
+    }
+
+    // failure_persists_until_release: a failed allocate returns before
+    // the id counter or busy list are touched, and the failure condition
+    // p > free_count is monotone under further occupies.
 }
 
 /// Convenience: returns the coordinates allocated to `alloc` (rank order).

@@ -123,6 +123,37 @@ pub trait AllocationStrategy {
     /// least `a × b` processors are free (true for the paper's three
     /// non-contiguous strategies).
     fn always_succeeds_when_free(&self) -> bool;
+
+    /// O(1) feasibility pre-check for an `a × b` request: `false` means
+    /// a call to [`AllocationStrategy::allocate`] with these arguments
+    /// would certainly return `None` given the current mesh and strategy
+    /// state; `true` means it *may* succeed. The scheduling hot loop
+    /// uses this to reject queued requests without running a search.
+    ///
+    /// Exactness contract: an implementation must never return `false`
+    /// for a request its `allocate` would grant. The default is the area
+    /// bound every strategy shares (no allocation can exceed the free
+    /// count); strategies with a cheaper-to-check internal counter or a
+    /// contiguity requirement override it to mirror their own failure
+    /// condition exactly.
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        let p = a as u32 * b as u32;
+        p != 0 && p <= mesh.free_count()
+    }
+
+    /// Whether a failed [`AllocationStrategy::allocate`] for a shape is
+    /// guaranteed to keep failing until a release frees processors
+    /// (i.e. until [`Mesh::release_epoch`] advances). This holds when
+    /// `allocate` is a deterministic function of the mesh and internal
+    /// strategy state, a failed call mutates nothing (and consumes no
+    /// randomness), and occupying more processors can never turn the
+    /// failure into a success. Every built-in strategy qualifies — see
+    /// each implementation's note; a future strategy that does not must
+    /// override this to `false` to disable the simulator's shape-keyed
+    /// failure memoization.
+    fn failure_persists_until_release(&self) -> bool {
+        true
+    }
 }
 
 /// Strategy selector used by configs, experiment sweeps and the CLI

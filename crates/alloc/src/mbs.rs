@@ -290,6 +290,17 @@ impl AllocationStrategy for Mbs {
     fn always_succeeds_when_free(&self) -> bool {
         true
     }
+
+    fn feasible(&self, _mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's early-out against the buddy
+        // forest's own free counter (kept in lockstep with the mesh)
+        let p = a as u32 * b as u32;
+        p != 0 && p <= self.free_procs
+    }
+
+    // failure_persists_until_release: a failed allocate returns before
+    // any block is taken, and p > free_procs is monotone under further
+    // occupies.
 }
 
 #[cfg(test)]

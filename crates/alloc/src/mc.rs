@@ -115,6 +115,19 @@ impl AllocationStrategy for Mc {
     fn always_succeeds_when_free(&self) -> bool {
         true
     }
+
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's only failure condition: when p
+        // processors are free, growing the shell from any free centre
+        // eventually collects all of them, so the cluster search cannot
+        // come up short
+        let p = a as u32 * b as u32;
+        p != 0 && p <= mesh.free_count()
+    }
+
+    // failure_persists_until_release: the cluster search is a pure
+    // function of the occupancy, a failed call never touches the id
+    // counter, and p > free_count is monotone under further occupies.
 }
 
 #[cfg(test)]

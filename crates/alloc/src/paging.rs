@@ -114,6 +114,18 @@ impl AllocationStrategy for Paging {
         // counter tracks
         true
     }
+
+    fn feasible(&self, _mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's early-out against the free *page*
+        // capacity (which equals the mesh free count: pages are occupied
+        // and released whole)
+        let need = a as u32 * b as u32;
+        need != 0 && need <= self.free_procs
+    }
+
+    // failure_persists_until_release: a failed allocate returns before
+    // any page is marked, and need > free_procs is monotone under
+    // further occupies.
 }
 
 #[cfg(test)]

@@ -70,6 +70,18 @@ impl AllocationStrategy for RandomNc {
     fn always_succeeds_when_free(&self) -> bool {
         true
     }
+
+    fn feasible(&self, mesh: &Mesh, a: u16, b: u16) -> bool {
+        // exact mirror of allocate's early-out. Crucially the check runs
+        // BEFORE any RNG draw, so a skipped doomed attempt leaves the
+        // random stream exactly where a failed attempt would have
+        let p = a as u32 * b as u32;
+        p != 0 && p <= mesh.free_count()
+    }
+
+    // failure_persists_until_release: the failure path consumes no
+    // randomness and mutates nothing, and p > free_count is monotone
+    // under further occupies.
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ pub use replicate::{
     derive_seed, run_point, run_point_on, run_point_seq, run_points, run_points_controlled,
     run_points_on, PointResult,
 };
-pub use simulator::Simulator;
+pub use simulator::{Simulator, StartDecision};
 
 // Re-export the vocabulary types callers configure with.
 pub use mesh_alloc::{PageIndexing, StrategyKind};

@@ -7,7 +7,7 @@ use mesh2d::Mesh;
 use mesh_alloc::{Allocation, AllocationStrategy};
 use mesh_sched::{QueuedJob, RunningJob, Scheduler};
 use simstats::{TimeWeighted, Welford};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use workload::{trace_to_jobs, JobSpec, StochasticGen};
 use wormnet::{pattern_messages, Network, Topology, TopologyKind};
@@ -169,6 +169,54 @@ pub struct Simulator {
     /// turn demand estimates into time estimates for reservation-aware
     /// schedulers (EASY backfilling).
     demand_time_factor: f64,
+    /// Reused scratch buffer for the scheduler's per-pass attempt order
+    /// (filled via [`Scheduler::attempt_order_into`], never reallocated
+    /// in steady state).
+    attempt_buf: Vec<u64>,
+    /// Cached running-set snapshot for reservation-aware schedulers,
+    /// rebuilt only when a start or departure invalidated it.
+    running_snapshot: Vec<RunningJob>,
+    /// Set by [`Simulator::start_job`] / [`Simulator::depart`]; cleared
+    /// when the snapshot is rebuilt. (`demand_time_factor`, which the
+    /// snapshot's completion estimates use, changes only at departures,
+    /// so this flag also covers it.)
+    snapshot_stale: bool,
+    /// Shape-keyed failure memo: `(a, b)` → the mesh release-epoch at
+    /// which an `a × b` allocation last failed. While the release epoch
+    /// is unchanged the shape is skipped without an allocator call —
+    /// exact because every strategy's failure persists until a release
+    /// (see [`AllocationStrategy::failure_persists_until_release`]).
+    /// Accessed only by key, never iterated, so `HashMap`'s random
+    /// bucket order cannot escape into results.
+    failed_shapes: HashMap<(u16, u16), u64>,
+    /// Whether the active strategy's failures are stable until release
+    /// (queried once at construction).
+    memo_enabled: bool,
+    /// When present, every start decision is appended (differential-test
+    /// support; `None` in normal runs, costing one branch per start).
+    start_log: Option<Vec<StartDecision>>,
+    /// Drive [`Simulator::schedule_pass_reference`] instead of the
+    /// memoized pass (the differential oracle).
+    reference_pass: bool,
+}
+
+/// One job-start decision — the complete observable outcome of a
+/// scheduling pass. Recorded by [`Simulator::run_recorded`] /
+/// [`Simulator::run_reference_recorded`] so differential tests can
+/// assert that the memoized scheduling pass and the reference oracle
+/// start the same jobs at the same times with the same allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartDecision {
+    /// Internal (arrival-order) job id.
+    pub job_id: u64,
+    /// Simulation time the job started service.
+    pub at: Time,
+    /// Requested shape `(a, b)`.
+    pub shape: (u16, u16),
+    /// Processors granted.
+    pub procs: u32,
+    /// Number of disjoint sub-meshes granted.
+    pub fragments: usize,
 }
 
 impl Simulator {
@@ -258,6 +306,7 @@ impl Simulator {
             }
         };
 
+        let memo_enabled = strategy.failure_persists_until_release();
         Simulator {
             cfg: cfg.clone(),
             mesh,
@@ -281,6 +330,13 @@ impl Simulator {
             pkt_count: 0,
             next_internal_id: 0,
             demand_time_factor: 1.0,
+            attempt_buf: Vec::new(),
+            running_snapshot: Vec::new(),
+            snapshot_stale: false,
+            failed_shapes: HashMap::new(),
+            memo_enabled,
+            start_log: None,
+            reference_pass: false,
         }
     }
 
@@ -391,8 +447,105 @@ impl Simulator {
     }
 
     /// One scheduling pass: repeatedly attempt the policy's candidates
-    /// until a full pass starts nothing.
+    /// until a full pass starts nothing. Dispatches to the memoized pass
+    /// or, for differential runs, the pre-memoization reference.
     fn schedule_pass(&mut self) {
+        if self.reference_pass {
+            self.schedule_pass_reference();
+        } else {
+            self.schedule_pass_fast();
+        }
+    }
+
+    /// The memoized scheduling pass. Identical decisions to
+    /// [`Simulator::schedule_pass_reference`] (pinned by the
+    /// `sched_differential` battery), reached with O(1) rejections:
+    ///
+    /// * the running-set snapshot for reservation-aware schedulers is
+    ///   rebuilt only when a start/departure invalidated it (the clock
+    ///   and free count are still passed fresh every pass — EASY's
+    ///   backfill decisions depend on `now` even when nothing ran);
+    /// * the attempt order is written into a reused buffer instead of a
+    ///   fresh `Vec` per loop iteration;
+    /// * a shape that exceeds the strategy's O(1) feasibility bound
+    ///   ([`AllocationStrategy::feasible`] — free count or free-space
+    ///   watermarks) is rejected without a search;
+    /// * a shape that failed at the current mesh release-epoch is
+    ///   skipped outright: failures are deterministic functions of the
+    ///   mesh/strategy state, mutate nothing, and stay failures until a
+    ///   release frees processors (successes only shrink free space) —
+    ///   so skipping the doomed search is bit-exact. This also covers
+    ///   later same-shape jobs within one pass, since the release epoch
+    ///   cannot advance mid-pass.
+    fn schedule_pass_fast(&mut self) {
+        if self.scheduler.wants_observation() {
+            if self.snapshot_stale {
+                let factor = self.demand_time_factor;
+                self.running_snapshot.clear();
+                self.running_snapshot.extend(
+                    self.jobs
+                        .values()
+                        .filter(|js| js.start != Time::MAX)
+                        .map(|js| RunningJob {
+                            procs: js.alloc.as_ref().map_or(0, |a| a.size()),
+                            est_completion: js.start
+                                + (js.spec.service_demand * factor).round() as Time,
+                        }),
+                );
+                self.snapshot_stale = false;
+            }
+            self.scheduler
+                .observe(&self.running_snapshot, self.mesh.free_count(), self.now);
+            self.scheduler.set_demand_time_factor(self.demand_time_factor);
+        }
+        let mut order = std::mem::take(&mut self.attempt_buf);
+        loop {
+            self.scheduler.attempt_order_into(&mut order);
+            if order.is_empty() {
+                break;
+            }
+            let mut started = false;
+            for &id in &order {
+                let (a, b) = {
+                    // procsim-lint: allow(D004): invariant: every id in attempt_order was enqueued with a JobState in Ev::Arrival
+                    let js = self.jobs.get(&id).expect("invariant: queued job without state");
+                    (js.spec.a, js.spec.b)
+                };
+                let rel = self.mesh.release_epoch();
+                if self.memo_enabled && self.failed_shapes.get(&(a, b)) == Some(&rel) {
+                    continue; // this exact shape already failed since the last release
+                }
+                if !self.strategy.feasible(&self.mesh, a, b) {
+                    if self.memo_enabled {
+                        self.failed_shapes.insert((a, b), rel);
+                    }
+                    continue;
+                }
+                if let Some(alloc) = self.strategy.allocate(&mut self.mesh, a, b) {
+                    // procsim-lint: allow(D004): invariant: id came from this scheduler's own attempt_order this pass
+                    self.scheduler.remove(id).expect("invariant: job vanished from queue");
+                    self.start_job(id, alloc);
+                    started = true;
+                    break;
+                }
+                if self.memo_enabled {
+                    self.failed_shapes.insert((a, b), rel);
+                }
+            }
+            if !started {
+                break;
+            }
+        }
+        self.attempt_buf = order;
+    }
+
+    /// The pre-memoization scheduling pass, kept verbatim as the
+    /// differential oracle: rebuilds the observation snapshot and clones
+    /// the attempt order every iteration, and runs the full allocator
+    /// search for every candidate. `tests/sched_differential.rs` pins
+    /// [`Simulator::schedule_pass_fast`] to this across strategies,
+    /// schedulers, topologies and seeds.
+    fn schedule_pass_reference(&mut self) {
         if self.scheduler.wants_observation() {
             let running: Vec<RunningJob> = self
                 .jobs
@@ -436,10 +589,22 @@ impl Simulator {
 
     fn start_job(&mut self, id: u64, alloc: Allocation) {
         self.util.update(self.now, self.mesh.used_count() as f64);
+        // a new running job invalidates the cached observation snapshot
+        self.snapshot_stale = true;
+        let (procs, fragments) = (alloc.size(), alloc.fragments());
         // procsim-lint: allow(D004): invariant: start_job is only reached from schedule_pass with a live queued id
         let js = self.jobs.get_mut(&id).expect("invariant: started job without state");
         js.start = self.now;
         js.alloc = Some(alloc);
+        if let Some(log) = self.start_log.as_mut() {
+            log.push(StartDecision {
+                job_id: id,
+                at: js.start,
+                shape: (js.spec.a, js.spec.b),
+                procs,
+                fragments,
+            });
+        }
         // the rank → coordinate layout was expanded once when the
         // allocation was built; every use below indexes the cached slice
         // procsim-lint: allow(D004): invariant: js.alloc was assigned Some two lines above
@@ -492,6 +657,9 @@ impl Simulator {
     }
 
     fn depart(&mut self, id: u64) {
+        // a departure invalidates the cached observation snapshot (and,
+        // below, possibly the demand->time factor baked into est_completion)
+        self.snapshot_stale = true;
         // procsim-lint: allow(D004): invariant: depart is driven by LocalDone/last-packet events of jobs still in the map
         let js = self.jobs.remove(&id).expect("invariant: departure of unknown job");
         debug_assert_eq!(js.outstanding, 0);
@@ -587,6 +755,26 @@ impl Simulator {
     /// Runs the replication to completion and returns its metrics.
     pub fn run(mut self) -> RunMetrics {
         self.run_inner()
+    }
+
+    /// Runs to completion recording every start decision (job, time,
+    /// shape, placement size/fragments) alongside the metrics. The log
+    /// is the memoized pass's observable behaviour: two runs that agree
+    /// on it and on the metrics made identical scheduling decisions.
+    pub fn run_recorded(mut self) -> (RunMetrics, Vec<StartDecision>) {
+        self.start_log = Some(Vec::new());
+        let metrics = self.run_inner();
+        (metrics, self.start_log.take().unwrap_or_default())
+    }
+
+    /// Like [`Simulator::run_recorded`] but drives every pass through
+    /// the pre-memoization `schedule_pass_reference` — the oracle side
+    /// of the differential battery.
+    pub fn run_reference_recorded(mut self) -> (RunMetrics, Vec<StartDecision>) {
+        self.reference_pass = true;
+        self.start_log = Some(Vec::new());
+        let metrics = self.run_inner();
+        (metrics, self.start_log.take().unwrap_or_default())
     }
 
     fn run_inner(&mut self) -> RunMetrics {

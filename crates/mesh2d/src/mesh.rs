@@ -17,6 +17,20 @@ use crate::submesh::SubMesh;
 /// the whole `W × L` grid on every allocation probe, which is what makes
 /// contiguous probing and GABL's greedy partitioning cheap at high
 /// utilization (few, short free intervals) — see `docs/PERFORMANCE.md`.
+///
+/// On top of the index the mesh maintains O(1) **state epochs** and
+/// **free-space watermarks** for the scheduling hot loop:
+///
+/// * [`Mesh::epoch`] / [`Mesh::release_epoch`] — counters bumped on every
+///   occupancy change / every release, letting callers detect "has the
+///   mesh changed (in a way that could help a failed request) since I
+///   last looked" without diffing any state.
+/// * [`Mesh::max_free_run`] / [`Mesh::free_rows`] — an upper bound on the
+///   dimensions of any free rectangle (no free rectangle can be wider
+///   than the longest free run in any row, nor taller than the number of
+///   rows containing a free cell). [`Mesh::could_fit_rect`] combines them
+///   with the free count into an O(1) *necessary-condition* test that
+///   rejects contiguous requests without a search.
 #[derive(Debug, Clone)]
 pub struct Mesh {
     w: u16,
@@ -26,6 +40,25 @@ pub struct Mesh {
     /// Per-row sorted, disjoint, maximal free intervals `(start, end)`,
     /// inclusive on both ends.
     row_free: Vec<Vec<(u16, u16)>>,
+    /// Bumped on every occupy and every release (any state change).
+    epoch: u64,
+    /// Bumped on every release only. A request that failed at
+    /// release-epoch `e` keeps failing while the release epoch is still
+    /// `e`: occupies only shrink free space, and every strategy's failure
+    /// condition is monotone under shrinking free space.
+    release_epoch: u64,
+    /// Watermark: per-row longest free run (0 = row fully occupied).
+    /// Recomputed in O(intervals) whenever a row's interval list changes.
+    row_max_run: Vec<u16>,
+    /// Watermark histogram: `run_hist[len]` = number of rows whose
+    /// longest free run is exactly `len` (index 0 counts full rows).
+    run_hist: Vec<u32>,
+    /// Watermark: `max(row_max_run)`, maintained lazily from `run_hist`
+    /// (raised directly; lowered by scanning down to the next non-empty
+    /// bucket, amortized O(1) per update).
+    max_free_run: u16,
+    /// Watermark: number of rows with at least one free cell.
+    free_rows: u16,
 }
 
 impl Mesh {
@@ -35,12 +68,20 @@ impl Mesh {
     /// Panics if either dimension is zero.
     pub fn new(w: u16, l: u16) -> Self {
         assert!(w > 0 && l > 0, "mesh dimensions must be positive");
+        let mut run_hist = vec![0u32; w as usize + 1];
+        run_hist[w as usize] = l as u32;
         Mesh {
             w,
             l,
             occupied: vec![false; w as usize * l as usize],
             free: w as u32 * l as u32,
             row_free: vec![vec![(0, w - 1)]; l as usize],
+            epoch: 0,
+            release_epoch: 0,
+            row_max_run: vec![w; l as usize],
+            run_hist,
+            max_free_run: w,
+            free_rows: l,
         }
     }
 
@@ -139,6 +180,8 @@ impl Mesh {
         self.occupied[i] = true;
         self.free -= 1;
         Self::interval_remove(&mut self.row_free[c.y as usize], c.x);
+        self.epoch += 1;
+        self.note_row_changed(c.y);
     }
 
     /// Marks a single processor free.
@@ -151,6 +194,93 @@ impl Mesh {
         self.occupied[i] = false;
         self.free += 1;
         Self::interval_insert(&mut self.row_free[c.y as usize], c.x);
+        self.epoch += 1;
+        self.release_epoch += 1;
+        self.note_row_changed(c.y);
+    }
+
+    /// Refreshes the watermarks after row `y`'s interval list changed:
+    /// recomputes the row's longest run (O(intervals), the same cost
+    /// class as the interval update itself) and folds the change into
+    /// the histogram, `free_rows`, and the lazy `max_free_run`.
+    fn note_row_changed(&mut self, y: u16) {
+        let new_max = self.row_free[y as usize]
+            .iter()
+            .map(|&(a, b)| b - a + 1)
+            .max()
+            .unwrap_or(0);
+        let old = self.row_max_run[y as usize];
+        if new_max == old {
+            return;
+        }
+        self.row_max_run[y as usize] = new_max;
+        self.run_hist[old as usize] -= 1;
+        self.run_hist[new_max as usize] += 1;
+        if old == 0 {
+            self.free_rows += 1;
+        } else if new_max == 0 {
+            self.free_rows -= 1;
+        }
+        if new_max > self.max_free_run {
+            self.max_free_run = new_max;
+        } else if old == self.max_free_run && self.run_hist[old as usize] == 0 {
+            let mut m = self.max_free_run;
+            while m > 0 && self.run_hist[m as usize] == 0 {
+                m -= 1;
+            }
+            self.max_free_run = m;
+        }
+    }
+
+    /// State epoch: bumped on every occupy and release. Two equal epochs
+    /// from the same mesh guarantee identical occupancy.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Release epoch: bumped only when a processor is freed (and on
+    /// [`Mesh::clear`]). An allocation request that failed at release
+    /// epoch `e` cannot start succeeding while the release epoch is
+    /// still `e` — intervening occupies only shrink the free space —
+    /// which is what makes shape-keyed failure memoization exact.
+    #[inline]
+    pub fn release_epoch(&self) -> u64 {
+        self.release_epoch
+    }
+
+    /// Watermark: the longest free run in any row — an upper bound on
+    /// the width of any entirely free rectangle (a free rectangle of
+    /// width `w` contains a free run of length ≥ `w` in each of its
+    /// rows; conversely the longest run is itself a free `run × 1`
+    /// rectangle, so the bound is tight in the width dimension).
+    #[inline]
+    pub fn max_free_run(&self) -> u16 {
+        self.max_free_run
+    }
+
+    /// Watermark: the number of rows containing at least one free cell —
+    /// an upper bound on the height of any entirely free rectangle.
+    #[inline]
+    pub fn free_rows(&self) -> u16 {
+        self.free_rows
+    }
+
+    /// O(1) necessary-condition test for a contiguous `w × l` request:
+    /// `false` means **no** entirely free `w × l` sub-mesh exists (the
+    /// request exceeds the free area, the mesh bounds, or a free-space
+    /// watermark), so a [`crate::rect::find_free_submesh`] search would
+    /// certainly fail; `true` means one *may* exist. Callers that accept
+    /// either orientation must test both `(w, l)` and `(l, w)`.
+    #[inline]
+    pub fn could_fit_rect(&self, w: u16, l: u16) -> bool {
+        w >= 1
+            && l >= 1
+            && w <= self.w
+            && l <= self.l
+            && w as u32 * l as u32 <= self.free
+            && w <= self.max_free_run
+            && l <= self.free_rows
     }
 
     /// Removes column `x` from a row's free-interval list. `x` must lie in
@@ -268,6 +398,56 @@ impl Mesh {
             }
         }
         assert_eq!(self.free, free_bits, "free counter out of sync");
+        self.check_watermark_consistency();
+    }
+
+    /// Cross-validates the free-space watermarks against a brute-force
+    /// recount and against the brute-force largest free rectangle:
+    /// per-row longest runs, the run histogram, `max_free_run`,
+    /// `free_rows`, and the guarantee that the actual largest free
+    /// rectangle fits inside the `max_free_run × free_rows` bound (with
+    /// the width bound tight). Compiled only under
+    /// `--features invariants`; run from `check_index_consistency` after
+    /// every sub-mesh operation.
+    #[cfg(feature = "invariants")]
+    pub fn check_watermark_consistency(&self) {
+        let mut max_run = 0u16;
+        let mut free_rows = 0u16;
+        let mut hist = vec![0u32; self.w as usize + 1];
+        for y in 0..self.l {
+            let brute = self.row_free[y as usize]
+                .iter()
+                .map(|&(a, b)| b - a + 1)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(self.row_max_run[y as usize], brute, "row_max_run[{y}] out of sync");
+            hist[brute as usize] += 1;
+            max_run = max_run.max(brute);
+            free_rows += u16::from(brute > 0);
+        }
+        assert_eq!(self.run_hist, hist, "run-length histogram out of sync");
+        assert_eq!(self.max_free_run, max_run, "max_free_run watermark out of sync");
+        assert_eq!(self.free_rows, free_rows, "free_rows watermark out of sync");
+        match crate::rect::largest_free_rect(self, self.w, self.l) {
+            Some(r) => {
+                assert!(
+                    r.width() <= self.max_free_run && r.length() <= self.free_rows,
+                    "largest free rect {}x{} exceeds watermark bound {}x{}",
+                    r.width(),
+                    r.length(),
+                    self.max_free_run,
+                    self.free_rows
+                );
+                // the width bound is tight: the longest free run is
+                // itself a free run×1 rectangle, so some free rectangle
+                // achieves width == max_free_run
+                assert!(
+                    self.max_free_run > 0,
+                    "free rect exists but max_free_run watermark is 0"
+                );
+            }
+            None => assert_eq!(self.free, 0, "free cells exist but no free rect found"),
+        }
     }
 
     /// Iterates over the coordinates of all free processors in row-major
@@ -324,7 +504,10 @@ impl Mesh {
             .sum()
     }
 
-    /// Frees every processor, returning the mesh to its initial state.
+    /// Frees every processor, returning the occupancy to its initial
+    /// state. The epochs are *not* reset — they keep counting so that
+    /// stale epoch values held by callers can never alias a post-clear
+    /// state (a clear releases processors, so both epochs advance).
     pub fn clear(&mut self) {
         self.occupied.fill(false);
         self.free = self.size();
@@ -332,6 +515,13 @@ impl Mesh {
             row.clear();
             row.push((0, self.w - 1));
         }
+        self.epoch += 1;
+        self.release_epoch += 1;
+        self.row_max_run.fill(self.w);
+        self.run_hist.fill(0);
+        self.run_hist[self.w as usize] = self.l as u32;
+        self.max_free_run = self.w;
+        self.free_rows = self.l;
     }
 }
 
@@ -489,5 +679,126 @@ mod tests {
         assert_eq!(m.free_count(), 0);
         m.clear();
         assert_eq!(m.free_count(), 16);
+    }
+
+    #[test]
+    fn epochs_advance_on_state_changes_only() {
+        let mut m = Mesh::new(4, 4);
+        assert_eq!((m.epoch(), m.release_epoch()), (0, 0));
+        m.occupy(Coord::new(1, 1));
+        assert_eq!((m.epoch(), m.release_epoch()), (1, 0), "occupy bumps epoch only");
+        m.occupy(Coord::new(2, 1));
+        assert_eq!((m.epoch(), m.release_epoch()), (2, 0));
+        m.release(Coord::new(1, 1));
+        assert_eq!((m.epoch(), m.release_epoch()), (3, 1), "release bumps both");
+        let (e, r) = (m.epoch(), m.release_epoch());
+        m.clear();
+        assert!(m.epoch() > e && m.release_epoch() > r, "clear frees: both advance");
+    }
+
+    fn brute_watermarks(m: &Mesh) -> (u16, u16) {
+        // reference recount from the raw occupancy bits: longest free
+        // run over all rows, and rows containing a free cell
+        let mut max_run = 0u16;
+        let mut free_rows = 0u16;
+        for y in 0..m.length() {
+            let mut run = 0u16;
+            let mut row_max = 0u16;
+            for x in 0..m.width() {
+                if m.is_free(Coord::new(x, y)) {
+                    run += 1;
+                    row_max = row_max.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+            max_run = max_run.max(row_max);
+            free_rows += u16::from(row_max > 0);
+        }
+        (max_run, free_rows)
+    }
+
+    #[test]
+    fn watermarks_match_brute_force_under_churn() {
+        let mut m = Mesh::new(9, 7);
+        let mut seed = 0xBADC0DEu64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let mut releases = 0u64;
+        for step in 0..4000 {
+            let c = Coord::new((rng() % 9) as u16, (rng() % 7) as u16);
+            let epoch_before = m.epoch();
+            if m.is_free(c) {
+                m.occupy(c);
+            } else {
+                m.release(c);
+                releases += 1;
+            }
+            assert_eq!(m.epoch(), epoch_before + 1, "step {step}");
+            assert_eq!(m.release_epoch(), releases, "step {step}");
+            let (max_run, free_rows) = brute_watermarks(&m);
+            assert_eq!(m.max_free_run(), max_run, "step {step}");
+            assert_eq!(m.free_rows(), free_rows, "step {step}");
+        }
+    }
+
+    #[test]
+    fn could_fit_rect_never_rejects_a_satisfiable_request() {
+        // exactness contract: could_fit_rect == false must imply the
+        // exhaustive search finds nothing, for every shape, across
+        // randomized occupancy patterns
+        let mut seed = 0x5EEDu64;
+        for case in 0..40 {
+            let mut m = Mesh::new(8, 6);
+            for y in 0..6u16 {
+                for x in 0..8u16 {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if (seed >> 33) % 10 < 2 + case % 6 {
+                        m.occupy(Coord::new(x, y));
+                    }
+                }
+            }
+            for w in 1..=8u16 {
+                for l in 1..=6u16 {
+                    let found = crate::rect::find_free_submesh(&m, w, l).is_some();
+                    if !m.could_fit_rect(w, l) {
+                        assert!(!found, "case {case}: watermark rejected free {w}x{l}");
+                    }
+                    if found {
+                        assert!(m.could_fit_rect(w, l), "case {case} {w}x{l}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn could_fit_rect_rejects_without_search() {
+        let mut m = Mesh::new(8, 4);
+        // occupy column 3 fully: max run 4 on an otherwise free mesh
+        for y in 0..4 {
+            m.occupy(Coord::new(3, y));
+        }
+        assert_eq!(m.max_free_run(), 4);
+        assert_eq!(m.free_rows(), 4);
+        assert!(m.could_fit_rect(4, 4));
+        assert!(!m.could_fit_rect(5, 1), "wider than any free run");
+        assert!(!m.could_fit_rect(1, 5), "taller than the mesh");
+        assert!(!m.could_fit_rect(0, 1));
+        // occupy rows 1 and 2 fully: only rows 0 and 3 keep free cells
+        for y in [1u16, 2] {
+            for x in 0..8 {
+                if m.is_free(Coord::new(x, y)) {
+                    m.occupy(Coord::new(x, y));
+                }
+            }
+        }
+        assert_eq!(m.free_rows(), 2);
+        assert!(!m.could_fit_rect(2, 3), "taller than free_rows");
+        assert!(m.could_fit_rect(4, 1));
     }
 }

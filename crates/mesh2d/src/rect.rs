@@ -44,9 +44,11 @@ pub fn intersect_intervals(a: &[(u16, u16)], b: &[(u16, u16)], out: &mut Vec<(u1
 /// Walks the mesh's incremental per-row free-interval index: for each base
 /// row the free runs of the `l` stacked rows are intersected and the first
 /// intersection at least `w` wide wins. Cost is proportional to the number
-/// of free intervals, not to `W × L`.
+/// of free intervals, not to `W × L`. Requests that exceed a free-space
+/// watermark ([`Mesh::could_fit_rect`]) are rejected in O(1) without
+/// touching the index at all — the saturated-queue hot case.
 pub fn find_free_submesh(mesh: &Mesh, w: u16, l: u16) -> Option<SubMesh> {
-    if w == 0 || l == 0 || w > mesh.width() || l > mesh.length() {
+    if !mesh.could_fit_rect(w, l) {
         return None;
     }
     let mut acc: Vec<(u16, u16)> = Vec::new();

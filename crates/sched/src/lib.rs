@@ -71,11 +71,23 @@ pub trait Scheduler {
         self.len() == 0
     }
 
-    /// Job ids in the order they may be attempted in one scheduling pass.
-    /// The pass stops at the first job whose allocation fails, except that
-    /// window policies list several candidates and the pass stops only
-    /// after all listed candidates fail.
-    fn attempt_order(&self) -> Vec<u64>;
+    /// Writes the job ids that may be attempted in one scheduling pass
+    /// into `out` (cleared first), in attempt order. The pass stops at
+    /// the first job whose allocation fails, except that window policies
+    /// list several candidates and the pass stops only after all listed
+    /// candidates fail. Filling a caller-owned buffer lets the
+    /// simulator's hot loop reuse one allocation across every pass
+    /// instead of building a fresh `Vec` per iteration.
+    fn attempt_order_into(&self, out: &mut Vec<u64>);
+
+    /// Convenience wrapper around [`Scheduler::attempt_order_into`]
+    /// collecting into a fresh `Vec` (tests, diagnostics, and the
+    /// differential reference pass).
+    fn attempt_order(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.attempt_order_into(&mut out);
+        out
+    }
 
     /// Removes a job that has been allocated (or cancelled).
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob>;
@@ -200,8 +212,9 @@ impl Scheduler for Fcfs {
         self.q.len()
     }
 
-    fn attempt_order(&self) -> Vec<u64> {
-        self.q.front().map(|j| j.job_id).into_iter().collect()
+    fn attempt_order_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.q.front().map(|j| j.job_id));
     }
 
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob> {
@@ -250,8 +263,9 @@ impl Scheduler for Ssd {
         self.jobs.len()
     }
 
-    fn attempt_order(&self) -> Vec<u64> {
-        self.front().map(|j| j.job_id).into_iter().collect()
+    fn attempt_order_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.front().map(|j| j.job_id));
     }
 
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob> {
@@ -295,19 +309,20 @@ impl Scheduler for ByKey {
         self.jobs.len()
     }
 
-    fn attempt_order(&self) -> Vec<u64> {
-        self.jobs
-            .iter()
-            .min_by(|x, y| {
-                let (kx, ax) = (self.key)(x);
-                let (ky, ay) = (self.key)(y);
-                kx.total_cmp(&ky)
-                    .then(ax.cmp(&ay))
-                    .then(x.job_id.cmp(&y.job_id))
-            })
-            .map(|j| j.job_id)
-            .into_iter()
-            .collect()
+    fn attempt_order_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.jobs
+                .iter()
+                .min_by(|x, y| {
+                    let (kx, ax) = (self.key)(x);
+                    let (ky, ay) = (self.key)(y);
+                    kx.total_cmp(&ky)
+                        .then(ax.cmp(&ay))
+                        .then(x.job_id.cmp(&y.job_id))
+                })
+                .map(|j| j.job_id),
+        );
     }
 
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob> {
@@ -353,8 +368,9 @@ impl Scheduler for FcfsWindow {
         self.q.len()
     }
 
-    fn attempt_order(&self) -> Vec<u64> {
-        self.q.iter().take(self.window).map(|j| j.job_id).collect()
+    fn attempt_order_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.q.iter().take(self.window).map(|j| j.job_id));
     }
 
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob> {
@@ -425,11 +441,12 @@ impl Scheduler for EasyBackfill {
         self.q.len()
     }
 
-    fn attempt_order(&self) -> Vec<u64> {
+    fn attempt_order_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         let Some(head) = self.q.front() else {
-            return Vec::new();
+            return;
         };
-        let mut order = vec![head.job_id];
+        out.push(head.job_id);
         if self.q.len() > 1 {
             let reservation = self.reservation_time(head.area());
             for j in self.q.iter().skip(1) {
@@ -440,11 +457,10 @@ impl Scheduler for EasyBackfill {
                     .now
                     .saturating_add((j.service_demand * self.factor).round() as Time);
                 if est_done <= reservation {
-                    order.push(j.job_id);
+                    out.push(j.job_id);
                 }
             }
         }
-        order
     }
 
     fn remove(&mut self, job_id: u64) -> Option<QueuedJob> {
